@@ -1,0 +1,129 @@
+"""A2: ablations — locality-restricted candidates, trigger modes, and
+engine throughput.
+
+The paper analyses global random candidate choice and names locality as
+future work; these benches quantify the gap on concrete topologies, and
+additionally measure raw engine throughput (steps/sec) as the
+infrastructure cost baseline.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save
+from repro import Engine, EngineConfig, LBParams, Simulation
+from repro.core.selection import GlobalRandomSelector, NeighborhoodSelector
+from repro.experiments.report import render_table
+from repro.network import DeBruijn, Hypercube, Ring, Torus2D
+from repro.rng import RngFactory
+from repro.workload import Section7Workload, UniformRandom
+
+
+def _run(n, selector, steps, seed):
+    factory = RngFactory(seed)
+    engine = Engine(
+        EngineConfig(n=n, params=LBParams(f=1.1, delta=2, C=4)),
+        rng=factory.named("engine"),
+        selector=selector,
+    )
+    workload = Section7Workload(n, steps, layout_rng=factory.named("layout"))
+    sim = Simulation(engine, workload, workload_rng=factory.named("workload"))
+    loads = sim.run(steps)
+    final = loads[-1].astype(float)
+    return float(final.std() / max(final.mean(), 1e-9)), engine
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_locality_ablation(benchmark, results_dir):
+    n, steps, seed = 64, 300, 9
+
+    def run_all():
+        out = {}
+        out["global (paper)"] = _run(n, GlobalRandomSelector(n), steps, seed)
+        for name, topo, radius in [
+            ("hypercube r1", Hypercube(6), 1),
+            ("deBruijn r1", DeBruijn(6), 1),
+            ("torus r1", Torus2D(n), 1),
+            ("torus r2", Torus2D(n), 2),
+            ("ring r1", Ring(n), 1),
+        ]:
+            sel = NeighborhoodSelector(topo.neighborhood_pools(radius))
+            out[name] = _run(n, sel, steps, seed)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [name, cv, engine.total_ops, engine.packets_migrated]
+        for name, (cv, engine) in results.items()
+    ]
+    save(
+        results_dir,
+        "ablation_locality",
+        render_table(["candidate pool", "final CV", "ops", "migrated"], rows),
+    )
+
+    cv = {k: v[0] for k, v in results.items()}
+    # expanders track the global algorithm closely
+    assert cv["hypercube r1"] < cv["global (paper)"] + 0.1
+    assert cv["deBruijn r1"] < cv["global (paper)"] + 0.1
+    # the ring is clearly worse: diameter costs balance quality
+    assert cv["ring r1"] > cv["global (paper)"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_trigger_strictness_ablation(benchmark, results_dir):
+    """Strict (literal-appendix) triggering balances constantly at zero
+    load; the guarded default avoids that churn at equal quality."""
+    from repro import run_simulation
+
+    n, steps = 32, 200
+
+    def run_pair():
+        guarded = run_simulation(
+            n, LBParams(f=1.3, delta=1, C=4), UniformRandom(n, 0.6, 0.4),
+            steps=steps, seed=4,
+        )
+        strict = run_simulation(
+            n, LBParams(f=1.3, delta=1, C=4), UniformRandom(n, 0.6, 0.4),
+            steps=steps, seed=4, strict_trigger=True,
+        )
+        return guarded, strict
+
+    guarded, strict = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    save(
+        results_dir,
+        "ablation_trigger",
+        render_table(
+            ["mode", "ops", "migrated", "final spread"],
+            [
+                ["guarded", guarded.total_ops, guarded.packets_migrated,
+                 guarded.final_spread()],
+                ["strict", strict.total_ops, strict.packets_migrated,
+                 strict.final_spread()],
+            ],
+        ),
+    )
+    assert strict.total_ops >= guarded.total_ops
+    assert guarded.final_spread() <= strict.final_spread() + 4
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_engine_throughput(benchmark):
+    """Raw engine speed: one 64-processor section-7 tick (the unit of
+    everything above).  A genuine microbenchmark — multiple rounds."""
+    factory = RngFactory(0)
+    engine = Engine(
+        EngineConfig(n=64, params=LBParams(f=1.1, delta=1, C=4)),
+        rng=factory.named("engine"),
+    )
+    workload = Section7Workload(64, 10_000, layout_rng=factory.named("layout"))
+    wl_rng = factory.named("workload")
+    state = {"t": 0}
+
+    def one_tick():
+        actions = workload.actions(state["t"], engine.l, wl_rng)
+        engine.step(actions)
+        state["t"] += 1
+
+    benchmark(one_tick)
+    assert engine.total_ops > 0

@@ -1,0 +1,79 @@
+"""A5: real applications on the task runtime.
+
+The strongest end-to-end check in the repo: actual TSP branch & bound
+and N-queens backtracking run distributed over the balanced machine,
+and their *answers* are verified exactly.  Additionally measures the
+speedup/efficiency profile and the parallel-B&B work anomaly (more
+processors find incumbents sooner and expand fewer nodes).
+"""
+
+import pytest
+
+from benchmarks.conftest import save
+from repro.apps import KNOWN_COUNTS, NQueensApp, TSPApp, TSPInstance, brute_force_tsp
+from repro.experiments.report import render_table
+from repro.params import LBParams
+from repro.runtime import TaskMachine
+
+
+@pytest.mark.benchmark(group="applications")
+def test_distributed_tsp(benchmark, results_dir):
+    instance = TSPInstance.random(9, seed=42)
+    reference, _ = brute_force_tsp(instance)
+
+    def run_all():
+        out = {}
+        for n_procs in (2, 8, 32):
+            app = TSPApp(instance)
+            res = TaskMachine(
+                n_procs,
+                LBParams(f=1.3, delta=min(2, n_procs - 1), C=4),
+                app,
+                seed=42,
+            ).run()
+            out[n_procs] = (app, res)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [n, res.ticks, res.executed, app.pruned, res.total_ops]
+        for n, (app, res) in results.items()
+    ]
+    save(
+        results_dir,
+        "app_tsp",
+        f"optimum {reference:.6f} (verified against brute force)\n"
+        + render_table(
+            ["procs", "makespan", "expanded", "pruned", "balance ops"], rows
+        ),
+    )
+
+    for n_procs, (app, res) in results.items():
+        # exactness: the distributed optimum equals exhaustive search
+        assert app.best_length == pytest.approx(reference, abs=1e-9)
+    # real speedup
+    assert results[32][1].ticks < results[2][1].ticks / 8
+    # the B&B work anomaly: parallelism prunes earlier
+    assert results[32][1].executed <= results[2][1].executed
+
+
+@pytest.mark.benchmark(group="applications")
+def test_distributed_nqueens(benchmark, results_dir):
+    def run():
+        app = NQueensApp(8)
+        res = TaskMachine(16, LBParams(f=1.2, delta=2, C=4), app, seed=0).run()
+        return app, res
+
+    app, res = benchmark.pedantic(run, rounds=1, iterations=1)
+    save(
+        results_dir,
+        "app_nqueens",
+        render_table(
+            ["solutions", "expected", "ticks", "expanded", "efficiency"],
+            [[app.solutions, KNOWN_COUNTS[8], res.ticks, res.executed,
+              res.parallel_efficiency]],
+        ),
+    )
+    assert app.solutions == KNOWN_COUNTS[8]
+    assert res.parallel_efficiency > 0.3

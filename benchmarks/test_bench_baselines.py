@@ -1,0 +1,79 @@
+"""A1: baseline comparison (ablation).
+
+Runs the paper's algorithm, RSU [20], random-scatter (section 5's
+strawman), the gradient model [6], a centralised oracle and no-balance
+on the same recorded section-7 workload trace, measuring balance
+quality and migration cost.  Motivates section 5: equal expectations
+are not enough — dispersion separates the schemes.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save
+from repro import LBParams, run_simulation
+from repro.baselines import (
+    GlobalAverageOracle,
+    GradientModel,
+    NoBalance,
+    RSU,
+    RandomScatter,
+    run_baseline,
+)
+from repro.experiments.report import render_table
+from repro.network import Torus2D
+from repro.workload import Section7Workload
+from repro.workload.trace import TraceRecorder
+
+
+def _final_cv(loads: np.ndarray) -> float:
+    final = loads[-1].astype(float)
+    return float(final.std() / max(final.mean(), 1e-9))
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_baseline_comparison(benchmark, results_dir):
+    n, steps, seed = 64, 400, 3
+
+    def run_all():
+        rec = TraceRecorder(Section7Workload(n, steps, layout_rng=seed))
+        lm = run_simulation(
+            n, LBParams(f=1.1, delta=2, C=4), rec, steps=steps, seed=seed
+        )
+        trace = rec.trace()
+        out = {"Lüling-Monien": (lm.loads, lm.packets_migrated)}
+        for name, bal in [
+            ("RSU", RSU(n, rng=seed)),
+            ("random scatter", RandomScatter(n, rng=seed)),
+            ("gradient (torus)", GradientModel(Torus2D(n), rng=seed)),
+            ("global oracle", GlobalAverageOracle(n, rng=seed)),
+            ("no balancing", NoBalance(n, rng=seed)),
+        ]:
+            res = run_baseline(bal, trace, steps, seed=seed + 1)
+            out[name] = (res.loads, res.packets_migrated)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [name, _final_cv(loads), int(loads[-1].max()), migrated]
+        for name, (loads, migrated) in results.items()
+    ]
+    save(
+        results_dir,
+        "baselines",
+        render_table(["balancer", "final CV", "final max", "migrations"], rows),
+    )
+
+    cv = {name: _final_cv(loads) for name, (loads, _) in results.items()}
+    # the paper's algorithm is near-oracle...
+    assert cv["Lüling-Monien"] < 0.15
+    assert cv["global oracle"] < 0.1
+    # ...and beats every decentralised baseline
+    assert cv["Lüling-Monien"] <= cv["RSU"] + 0.02
+    assert cv["Lüling-Monien"] < cv["random scatter"] / 3
+    assert cv["Lüling-Monien"] < cv["no balancing"]
+    # with far fewer migrations than the oracle
+    lm_migr = results["Lüling-Monien"][1]
+    oracle_migr = results["global oracle"][1]
+    assert lm_migr < oracle_migr

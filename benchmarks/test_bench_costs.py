@@ -1,0 +1,54 @@
+"""E9/E10: section-6 cost benches (Lemma 4 and Lemmas 5/6).
+
+Lemma 4: in the one-producer benchmark, after m balancing operations at
+least m packets have been generated and distributed.
+
+Lemma 5/6: the measured number of balancing operations to simulate a
+workload decrease lies between the lower and upper bounds; the Lemma-6
+bound is tighter; iteration counts are f-sensitive but nearly
+independent of delta, n and of the absolute scale at fixed c/x.
+"""
+
+import pytest
+
+from benchmarks.conftest import save
+from repro.experiments.tables import lemma4_table, lemma56_table
+
+
+@pytest.mark.benchmark(group="costs")
+def test_lemma4(benchmark, results_dir):
+    table = benchmark.pedantic(
+        lambda: lemma4_table(n_ops=200, seed=0), rounds=1, iterations=1
+    )
+    save(results_dir, "lemma4", table.render())
+    for row in table.rows:
+        assert row[-1] is True  # generated >= m for every config
+
+
+@pytest.mark.benchmark(group="costs")
+def test_lemma56(benchmark, results_dir):
+    table = benchmark.pedantic(
+        lambda: lemma56_table(seed=0), rounds=1, iterations=1
+    )
+    save(results_dir, "lemma56", table.render())
+
+    by_key = {}
+    for x, c, n, d, f, measured, lo, hi, l6, model in table.rows:
+        by_key[(x, c, n, d, f)] = (measured, lo, hi, l6, model)
+        # bounds bracket the measurement (±1 rounding slack)
+        assert lo - 1 <= measured
+        if hi is not None:
+            assert measured <= hi + 1
+        if l6 is not None and hi is not None:
+            assert l6 <= hi  # Lemma 6 sharpens Lemma 5
+        if model is not None:
+            assert abs(measured - model) <= 2.5
+
+    base = by_key[(1000, 500, 64, 1, 1.1)][0]
+    # nearly independent of delta and n
+    assert abs(base - by_key[(1000, 500, 64, 4, 1.1)][0]) <= 2.5
+    assert abs(base - by_key[(1000, 500, 16, 1, 1.1)][0]) <= 2.5
+    # scale-invariant at fixed c/x
+    assert abs(base - by_key[(2000, 1000, 64, 1, 1.1)][0]) <= 1.5
+    # strongly f-sensitive
+    assert by_key[(1000, 500, 64, 1, 1.5)][0] < base / 2

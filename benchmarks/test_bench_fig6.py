@@ -1,0 +1,42 @@
+"""E3: Figure 6 — variation density surfaces.
+
+Paper: VD for delta in {1,2,4}, f in {1.1,1.2}, processor counts
+2..35, up to 150 balancing steps; VD is small in general, converges
+quickly in t and n, and exhibits the delta/f quality-cost trade-off.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save
+from repro.experiments.figures import figure6
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_figure6(benchmark, results_dir):
+    def run():
+        return figure6(trials=8000, seed=0)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    save(results_dir, "figure6", res.render())
+    res.to_csv(results_dir)
+
+    # paper shape 1: VD small in general
+    for surf in res.surfaces.values():
+        assert np.nanmax(surf) < 0.8
+
+    # paper shape 2: convergence in t (late plateau)
+    surf = res.surfaces[(1, 1.1)]
+    late = surf[:, 100:]
+    valid = ~np.isnan(late).any(axis=1)
+    assert (late[valid].std(axis=1) < 0.05).all()
+
+    # paper shape 3: VD grows with f at fixed delta
+    for delta in (1, 2, 4):
+        a = np.nanmean(res.final_vd(delta, 1.1))
+        b = np.nanmean(res.final_vd(delta, 1.2))
+        assert b >= a - 0.01
+
+    # paper shape 4: convergence in n (the curve flattens at large n)
+    tail = res.final_vd(1, 1.2)
+    assert abs(tail[-1] - tail[-2]) < 0.05

@@ -1,0 +1,54 @@
+"""E4/E5: Figures 7-8 — balancing quality over time.
+
+Paper setup: 64 processors, 500 steps, section-7 workload, C = 4,
+f in {1.1, 1.8}, delta = 1 (fig 7) and delta = 4 (fig 8), 100 runs
+(REPRO_RUNS here).  Expected shapes: min/max envelopes hug the mean;
+tighter for delta = 4 than delta = 1; tighter for f = 1.1 than f = 1.8;
+delta dominates f once delta is large.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save
+from repro.experiments.figures import figure7, figure8
+
+
+def within_run_spread(result) -> float:
+    """Per-run (max-min)/mean averaged over the loaded second half —
+    the balance-quality signal (the cross-run envelope additionally
+    absorbs run-to-run workload variance; see EnvelopeSeries docs)."""
+    env = result.envelope
+    half = env.mean.shape[0] // 2
+    return float(env.relative_spread()[half:].mean())
+
+
+@pytest.mark.benchmark(group="fig7-8")
+def test_figure7(benchmark, results_dir):
+    fig = benchmark.pedantic(lambda: figure7(seed=0), rounds=1, iterations=1)
+    save(results_dir, "figure7", fig.render())
+    fig.to_csv(results_dir, stem="figure7")
+
+    w11 = within_run_spread(fig.results[1.1])
+    w18 = within_run_spread(fig.results[1.8])
+    # f = 1.1 balances at least as tightly as f = 1.8 at delta = 1
+    assert w11 <= w18 + 0.02
+    # spreads are small in absolute terms (the paper: "maximal
+    # derivations from the expected value are low")
+    assert w11 < 0.5
+
+
+@pytest.mark.benchmark(group="fig7-8")
+def test_figure8(benchmark, results_dir):
+    fig = benchmark.pedantic(lambda: figure8(seed=0), rounds=1, iterations=1)
+    save(results_dir, "figure8", fig.render())
+    fig.to_csv(results_dir, stem="figure8")
+
+    w11 = within_run_spread(fig.results[1.1])
+    w18 = within_run_spread(fig.results[1.8])
+    assert w11 < 0.4 and w18 < 0.4
+    # delta = 4: f plays only a minor role (paper's observation)
+    assert abs(w11 - w18) < 0.1
+    # delta = 4 is tighter than delta = 1 at the same f (vs figure 7)
+    fig7 = figure7(fs=(1.1,), seed=0, runs=fig.results[1.1].config.runs)
+    assert w11 <= within_run_spread(fig7.results[1.1]) + 0.02

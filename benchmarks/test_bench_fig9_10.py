@@ -1,0 +1,54 @@
+"""E6/E7: Figures 9-10 — per-processor load distribution snapshots.
+
+Paper: expected / min / max load of each of the 64 processors at time
+steps 50, 200 and 400, for delta = 1 (fig 9) and delta = 4 (fig 10).
+Expected shapes: per-processor means are flat (well balanced); the
+min-max band across runs is narrow; delta = 4 bands are narrower than
+delta = 1; the impact of f is minor when delta is large.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save
+from repro.experiments.figures import figure9, figure10
+
+
+def band_width(fig, f) -> float:
+    """Within-run (max-min)/mean at the snapshot ticks."""
+    env = fig.results[f].envelope
+    rel = env.relative_spread()
+    ticks = [t for t in fig.results[f].snapshots if t > 0]
+    return float(np.mean([rel[t] for t in ticks]))
+
+
+def mean_flatness(fig, f) -> float:
+    """CV of the per-processor mean loads at the last snapshot."""
+    snap = fig.results[f].snapshots[400]
+    m = snap["mean"]
+    return float(m.std() / max(m.mean(), 1e-9))
+
+
+@pytest.mark.benchmark(group="fig9-10")
+def test_figure9(benchmark, results_dir):
+    fig = benchmark.pedantic(lambda: figure9(seed=0), rounds=1, iterations=1)
+    save(results_dir, "figure9", fig.render())
+    fig.to_csv(results_dir, stem="figure9")
+    # per-processor expectations are flat: balanced in expectation
+    assert mean_flatness(fig, 1.1) < 0.15
+    assert mean_flatness(fig, 1.8) < 0.25
+
+
+@pytest.mark.benchmark(group="fig9-10")
+def test_figure10(benchmark, results_dir):
+    fig10 = benchmark.pedantic(lambda: figure10(seed=0), rounds=1, iterations=1)
+    save(results_dir, "figure10", fig10.render())
+    fig10.to_csv(results_dir, stem="figure10")
+    fig9 = figure9(seed=0, runs=fig10.results[1.1].config.runs)
+
+    # the paper's key observation: delta has the large impact on the
+    # balancing quality...
+    assert band_width(fig10, 1.1) <= band_width(fig9, 1.1) * 1.05
+    assert band_width(fig10, 1.8) <= band_width(fig9, 1.8) * 1.05
+    # ...while f plays only a minor role once delta is large
+    assert abs(band_width(fig10, 1.1) - band_width(fig10, 1.8)) < 0.4

@@ -1,0 +1,37 @@
+"""A4: network-size scaling (the 'independent of n' claim).
+
+Quality and per-processor cost should be flat as the machine grows —
+the theorems are size-free and the trigger is purely local.  The paper
+reports deployments up to 1024 processors; the default sweep here stops
+at 256 to keep the bench fast (set ``REPRO_SCALE_MAX=1024`` to include
+the full size).
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import save
+from repro.experiments.scaling import scaling_experiment
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling(benchmark, results_dir):
+    max_n = int(os.environ.get("REPRO_SCALE_MAX", "256"))
+    ns = tuple(n for n in (16, 32, 64, 128, 256, 512, 1024) if n <= max_n)
+
+    def run():
+        return scaling_experiment(ns=ns, steps=250, runs=2, seed=0)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    save(results_dir, "scaling", res.render())
+
+    # quality flat in n (the scale-independence headline): bounded and
+    # not growing with the machine size
+    assert res.quality_flat(tolerance=2.5), res.render()
+    assert res.rel_spread[-1] <= res.rel_spread.max() <= 0.6
+    # per-processor organisational cost does NOT grow with n (it in
+    # fact falls slightly: per-class loads thin out as classes spread
+    # over more processors)
+    ops = res.ops_per_proc_tick
+    assert ops[-1] <= ops[0] * 1.2 + 0.02

@@ -1,0 +1,49 @@
+"""A6: the (f, delta, C) sensitivity surface with bootstrap CIs.
+
+Quantifies section 7's scalability message with uncertainty: the
+balance-quality orderings the paper reads off its figures are certified
+here by bootstrap confidence intervals over per-run end-state spreads.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save
+from repro.experiments.sensitivity import sensitivity_sweep
+from repro.metrics.confidence import compare_means
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_sensitivity_surface(benchmark, results_dir):
+    def run():
+        return sensitivity_sweep(
+            fs=(1.1, 1.4, 1.8), deltas=(1, 2, 4), cs=(4, 16),
+            steps=300, seed=0,
+        )
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    save(results_dir, "sensitivity", res.render())
+
+    # the paper's qualitative surface, with uncertainty:
+    marg_delta = res.marginal("delta")
+    assert marg_delta[4] <= marg_delta[1]  # delta dominates
+
+    # pareto front exists and contains a high-delta point (quality end)
+    front = res.pareto_front()
+    assert front
+    assert any(p.delta >= 2 for p in front)
+
+    # CI-certified: delta=4 beats delta=1 at f=1.1, C=4
+    def spreads(f, delta, C):
+        (p,) = [q for q in res.points if q.key == (f, delta, C)]
+        return p
+
+    p1 = spreads(1.1, 1, 4)
+    p4 = spreads(1.1, 4, 4)
+    assert p4.spread.estimate <= p1.spread.estimate + 0.02
+
+    # C barely moves the balance quality (it trades borrow traffic)
+    for f, d in [(1.1, 1), (1.8, 4)]:
+        a = spreads(f, d, 4).spread.estimate
+        b = spreads(f, d, 16).spread.estimate
+        assert abs(a - b) < 0.15

@@ -1,0 +1,44 @@
+"""E8: Table 1 — borrow statistics for C in {4, 8, 16, 32}.
+
+Paper (per-processor averages over 100 runs, f=1.1, delta=1):
+
+                 C=4      C=8      C=16     C=32
+  total borrow   107.777  109.451  109.661  109.616
+  remote borrow  3.949    0.333    0.033    0.032
+  borrow fail    0.298    0.019    0.016    0.019
+  decrease sim   3.838    1.899    1.609    1.637
+
+Expected shapes: total borrow ~constant in C; remote borrow and borrow
+fail collapse steeply as C grows; decrease sim falls then flattens.
+"""
+
+import pytest
+
+from benchmarks.conftest import save
+from repro.experiments.tables import table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1(benchmark, results_dir):
+    table = benchmark.pedantic(
+        lambda: table1(seed=0), rounds=1, iterations=1
+    )
+    save(results_dir, "table1", table.render())
+    rows = dict(table.rows())
+
+    total = rows["total_borrow"]
+    remote = rows["remote_borrow"]
+    fail = rows["borrow_fail"]
+    dec = rows["decrease_sim"]
+
+    # total borrow nearly constant in C (within 15%)
+    assert max(total) <= 1.15 * min(total)
+    # paper magnitude: ~100-120 borrows per processor per run
+    assert 60 <= total[0] <= 180
+
+    # remote borrow collapses with C (paper: 3.9 -> 0.03)
+    assert remote[0] > 5 * remote[-1]
+    # borrow fail collapses with C
+    assert fail[0] > 3 * fail[-1]
+    # decrease sim decreases from C=4 to C=32
+    assert dec[0] > dec[-1]

@@ -1,0 +1,31 @@
+"""E1/E2: Theorem 1-3 validation benches.
+
+Regenerates the operator-vs-simulation comparison (Theorems 1/2) and
+the analytic Theorem-3 bound table; asserts the paper's inequalities.
+"""
+
+import pytest
+
+from benchmarks.conftest import save
+from repro.experiments.tables import theorem12_table, theorem3_table
+
+
+@pytest.mark.benchmark(group="theory")
+def test_theorem12(benchmark, results_dir):
+    def run():
+        return theorem12_table(t=60, trials=40_000, seed=0)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save(results_dir, "theorem12", table.render())
+    for n, delta, f, sim, g_t, fx, limit in table.rows:
+        assert sim == pytest.approx(g_t, rel=0.03)  # Lemma 1 exactness
+        assert g_t <= fx + 1e-9                     # Theorem 1
+        assert fx <= limit + 1e-9                   # Theorem 2
+
+
+@pytest.mark.benchmark(group="theory")
+def test_theorem3(benchmark, results_dir):
+    table = benchmark.pedantic(theorem3_table, rounds=1, iterations=1)
+    save(results_dir, "theorem3", table.render())
+    for _, _, _, lo, hi, lo_inf, hi_inf in table.rows:
+        assert lo_inf <= lo <= 1 <= hi <= hi_inf

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Branch & bound on 32 processors: the paper's motivating application.
+
+A best-first B&B search seeds a handful of root subproblems on one
+processor; expansion spawns children until the incumbent bound prunes
+the tree away (boom/bust load).  We drive the *same* spawning process
+through four balancers and compare how evenly the work spreads — and
+hence how quickly the machine finishes.
+
+Run:  python examples/branch_and_bound.py
+"""
+
+import numpy as np
+
+from repro import LBParams, run_simulation
+from repro.apps import BranchAndBoundWorkload
+from repro.baselines import GlobalAverageOracle, NoBalance, RSU, run_baseline
+from repro.experiments.report import render_table
+
+
+def idle_fraction(loads: np.ndarray) -> float:
+    """Fraction of processor-ticks with zero load while work exists."""
+    busy_ticks = loads.sum(axis=1) > 0
+    if not busy_ticks.any():
+        return 0.0
+    idle = (loads[busy_ticks] == 0).mean()
+    return float(idle)
+
+
+def main() -> None:
+    n, steps, seed = 32, 800, 11
+
+    rows = []
+    for name, runner in [
+        ("Lüling-Monien (f=1.3, d=2)", lambda wl: run_simulation(
+            n, LBParams(f=1.3, delta=2, C=4), wl, steps=steps, seed=seed)),
+        ("RSU (pairwise)", lambda wl: run_baseline(RSU(n, rng=seed), wl, steps, seed=seed)),
+        ("no balancing", lambda wl: run_baseline(NoBalance(n, rng=seed), wl, steps, seed=seed)),
+        ("global oracle", lambda wl: run_baseline(
+            GlobalAverageOracle(n, rng=seed), wl, steps, seed=seed)),
+    ]:
+        workload = BranchAndBoundWorkload(
+            n, p0=0.6, branching_factor=2, tau=3000, seeds=8
+        )
+        res = runner(workload)
+        rows.append(
+            [
+                name,
+                workload.total_consumed,
+                float(res.max_load.max()),
+                idle_fraction(res.loads),
+                res.packets_migrated,
+            ]
+        )
+
+    print("Branch & bound, 32 processors, identical spawning dynamics:\n")
+    print(
+        render_table(
+            ["balancer", "nodes expanded", "peak load", "idle fraction", "migrations"],
+            rows,
+        )
+    )
+    print(
+        "\nIdle fraction is wasted capacity: unbalanced processors starve "
+        "while processor 0 drowns.  The paper's algorithm tracks the "
+        "oracle at a fraction of the migrations."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Solve a real TSP instance on the simulated balanced machine.
+
+This is the paper's showcase application [8] end to end: branch &
+bound subproblems are real task objects living in per-processor queues;
+the load balancer's operations move the actual subproblems; the
+distributed solver's answer is verified against exhaustive search.
+
+Run:  python examples/distributed_tsp.py
+"""
+
+from repro.apps import TSPApp, TSPInstance, brute_force_tsp
+from repro.experiments.report import ascii_chart, render_table
+from repro.params import LBParams
+from repro.runtime import TaskMachine
+
+
+def main() -> None:
+    n_cities, seed = 9, 42
+    instance = TSPInstance.random(n_cities, seed=seed)
+    reference, ref_tour = brute_force_tsp(instance)
+    print(f"TSP instance: {n_cities} random cities, optimum {reference:.6f}\n")
+
+    rows = []
+    chart = None
+    for n_procs in (1 + 1, 4, 16, 32):
+        app = TSPApp(instance)
+        machine = TaskMachine(
+            n_procs, LBParams(f=1.3, delta=min(2, n_procs - 1), C=4),
+            app, seed=seed,
+        )
+        res = machine.run()
+        assert abs(app.best_length - reference) < 1e-9, "wrong optimum!"
+        rows.append(
+            [
+                n_procs,
+                res.ticks,
+                res.executed,
+                app.pruned,
+                res.total_ops,
+                res.parallel_efficiency,
+            ]
+        )
+        if n_procs == 16:
+            chart = res.loads
+
+    print(
+        render_table(
+            ["processors", "makespan (ticks)", "subproblems expanded",
+             "pruned", "balancing ops", "efficiency"],
+            rows,
+        )
+    )
+    print(f"\nAll runs returned the exhaustive-search optimum {reference:.6f}.")
+    if chart is not None:
+        print()
+        print(
+            ascii_chart(
+                {
+                    "max load": chart.max(axis=1),
+                    "mean load": chart.mean(axis=1),
+                },
+                title="Subproblem queue depth over time (16 processors)",
+                x_label="ticks",
+            )
+        )
+    print(
+        "\nNote the boom/bust queue profile: the bound is loose early "
+        "(boom), tightens as incumbents improve (bust) — the dynamic, "
+        "unpredictable load the paper's adaptive trigger is built for."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Three ways to compute the paper's Figure-6 quantity, cross-checked.
+
+Section 5 of the paper computes the variation density VD(l_i) with an
+O(p^2 t^3) recursion over computation graphs.  This repo offers three
+independent routes and they must (and do) agree:
+
+1. exhaustive enumeration over candidate-sequence patterns (exact,
+   tiny t only) — `theory.variation.exact_variation_density`;
+2. vectorised Monte Carlo (any scale, ~1/sqrt(trials) error) —
+   `theory.variation.mc_variation_density`;
+3. the closed six-moment recursion (exact, O(t), any scale) —
+   `theory.moments.exact_moments`.
+
+The script prints the three-way comparison, then uses route 3 to show
+something the paper could not see at its t <= 150 horizon: the
+pure-growth OPG variation density drifts upward (slowly, forever).
+
+Run:  python examples/exact_variation.py
+"""
+
+import numpy as np
+
+from repro.experiments.report import ascii_chart, render_table
+from repro.theory.moments import MomentState, exact_moments
+from repro.theory.variation import exact_variation_density, mc_variation_density
+
+
+def main() -> None:
+    n, f, t = 6, 1.3, 7
+
+    enum = exact_variation_density(t, n, f)
+    mc = mc_variation_density(t, n, f, trials=100_000, seed=0)
+    mom = exact_moments(t, n, f, delta=1)
+
+    rows = []
+    for s in range(t + 1):
+        rows.append(
+            [s, enum.vd_other[s], mom.vd_other[s], mc.vd_other[s]]
+        )
+    print(f"VD of a non-producer, n={n}, f={f} (three independent routes):\n")
+    print(
+        render_table(
+            ["step", "enumeration", "moment recursion", "Monte Carlo (100k)"],
+            rows,
+            floatfmt=".5f",
+        )
+    )
+
+    # Figure-6 scale, exact:
+    res = exact_moments(150, 20, 1.2, delta=1)
+    print()
+    print(
+        ascii_chart(
+            {"VD producer": res.vd_producer, "VD other": res.vd_other},
+            title="Exact VD, n=20, f=1.2, delta=1 (Figure-6 horizon)",
+            x_label="balancing ops",
+        )
+    )
+
+    # beyond the paper's horizon: slow unbounded drift
+    s = MomentState.balanced()
+    checkpoints = []
+    marks = (150, 1_000, 10_000, 100_000, 1_000_000)
+    for step in range(1, marks[-1] + 1):
+        s = s.step(20, 1, 1.2).normalised()
+        if step in marks:
+            checkpoints.append([step, s.vd_other, s.ratio])
+    print("\nBeyond the paper's horizon (exact, renormalised):\n")
+    print(
+        render_table(
+            ["balancing ops", "VD other", "load ratio (pinned at FIX)"],
+            checkpoints,
+            floatfmt=".4f",
+        )
+    )
+    print(
+        "\nThe load ratio stays at the fixed point while VD keeps "
+        "accumulating — the paper's Figure-6 'boundedness' is a "
+        "statement about its simulated range (t <= 150), where VD is "
+        "indeed small and flat."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""The f / delta / C trade-off surface (section 7's core message).
+
+Sweeps the trigger factor ``f``, the neighbourhood size ``delta`` and
+the borrow capacity ``C`` over the section-7 workload and reports, per
+configuration: balancing quality (mean final spread, mean imbalance),
+costs (balancing operations, migrations) and borrow traffic — showing
+the scalable trade-offs Theorems 2-4 predict:
+
+* smaller ``f``  -> better balance, more operations;
+* larger ``delta`` -> better balance, more data per operation;
+* larger ``C``  -> less borrow communication, looser Theorem-4 bound.
+
+Run:  python examples/parameter_tradeoffs.py  [--runs 5]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.experiments.config import QualityConfig
+from repro.experiments.runner import quality_experiment
+from repro.experiments.report import render_table
+from repro.theory.bounds import theorem4_bound
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--runs", type=int, default=5)
+    ap.add_argument("--steps", type=int, default=300)
+    args = ap.parse_args()
+
+    rows = []
+    for f, delta, C in [
+        (1.1, 1, 4),
+        (1.5, 1, 4),
+        (1.8, 1, 4),
+        (1.1, 4, 4),
+        (1.8, 4, 4),
+        (1.1, 8, 4),
+        (1.1, 1, 16),
+        (1.8, 4, 16),
+    ]:
+        cfg = QualityConfig(
+            f=f, delta=delta, C=C, runs=args.runs, steps=args.steps, seed=42,
+            snapshot_ticks=(args.steps,),
+        )
+        res = quality_experiment(cfg)
+        env = res.envelope
+        final_spread = float(env.max[-1] - env.min[-1])
+        imbalance = float((env.max[-1] + 1) / (env.mean[-1] + 1))
+        borrow = np.mean([c.total_borrow for c in res.counters])
+        remote = np.mean([c.remote_borrow for c in res.counters])
+        rows.append(
+            [
+                f,
+                delta,
+                C,
+                final_spread,
+                imbalance,
+                res.mean_ops,
+                res.mean_migrated,
+                borrow,
+                remote,
+                theorem4_bound(cfg.n, delta, f),
+            ]
+        )
+
+    print("Section-7 workload, 64 processors, trade-off sweep:\n")
+    print(
+        render_table(
+            [
+                "f", "delta", "C", "spread(end)", "max/mean(end)",
+                "ops/run", "migrated/run", "borrows/run", "remote/run",
+                "Thm4 bound",
+            ],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — reproduction of Lüling & Monien, SPAA'93.
+
+*A Dynamic Distributed Load Balancing Algorithm with Provable Good
+Performance.*
+
+The package implements the paper's algorithm (factor-``f`` triggered
+balancing with ``delta`` random partners, virtual load classes and the
+borrow protocol with capacity ``C``), the one-processor models its
+analysis reduces to, the full analytical machinery (operators,
+``FIX``, variation density, cost bounds), the section-7 experiment
+harness, and baselines for comparison.
+
+Quickstart::
+
+    from repro import LBParams, run_simulation
+    from repro.workload import Section7Workload
+
+    params = LBParams(f=1.1, delta=4, C=4)
+    res = run_simulation(64, params, Section7Workload(64, 500),
+                         steps=500, seed=0)
+    print(res.max_load[-1], res.mean_load[-1], res.min_load[-1])
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.params import LBParams, ParamError
+from repro.rng import RngFactory
+from repro.core.engine import Engine, EngineConfig
+from repro.simulation.driver import Simulation, run_simulation
+from repro.simulation.result import RunResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LBParams",
+    "ParamError",
+    "RngFactory",
+    "Engine",
+    "EngineConfig",
+    "Simulation",
+    "run_simulation",
+    "RunResult",
+    "__version__",
+]

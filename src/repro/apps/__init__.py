@@ -1,0 +1,45 @@
+"""Demo applications driving the balancer.
+
+The paper motivates the algorithm with real irregular applications:
+best-first branch & bound [7, 8], concurrent Prolog [4], graphics [11].
+This package provides two levels of fidelity:
+
+* *workload-level models* —
+  :class:`~repro.apps.branch_and_bound.BranchAndBoundWorkload` and
+  :class:`~repro.apps.tree_search.TreeSearchWorkload`: packets stay
+  anonymous, spawning statistics mimic the applications; they plug into
+  the analysed engine and every baseline;
+* *real applications* — :class:`~repro.apps.tsp.TSPApp` (branch &
+  bound for the symmetric TSP, the paper's showcase [8]) and
+  :class:`~repro.apps.nqueens.NQueensApp` (backtrack search / dynamic
+  tree unfolding [5, 19]): actual subproblem objects executed on the
+  :mod:`repro.runtime` task machine, with verifiable answers (optimal
+  tour length, exact solution counts).
+"""
+
+from repro.apps.branch_and_bound import BranchAndBoundWorkload
+from repro.apps.tree_search import TreeSearchWorkload
+from repro.apps.tsp import TSPApp, TSPInstance, brute_force_tsp
+from repro.apps.nqueens import KNOWN_COUNTS, NQueensApp
+from repro.apps.knapsack import (
+    KnapsackApp,
+    KnapsackInstance,
+    dp_knapsack,
+)
+from repro.apps.sat import CNF, SatApp, brute_force_count
+
+__all__ = [
+    "BranchAndBoundWorkload",
+    "TreeSearchWorkload",
+    "TSPApp",
+    "TSPInstance",
+    "brute_force_tsp",
+    "NQueensApp",
+    "KNOWN_COUNTS",
+    "KnapsackApp",
+    "KnapsackInstance",
+    "dp_knapsack",
+    "CNF",
+    "SatApp",
+    "brute_force_count",
+]

@@ -1,0 +1,99 @@
+"""Branch & bound workload: work spawns work until the bound prunes it.
+
+A best-first branch & bound (the paper's own driving application, [7,
+8]) consumes a subproblem per step; expansion either *prunes* (the
+subproblem's lower bound exceeds the incumbent) or *branches*, creating
+several child subproblems.  As the incumbent improves over time, the
+prune probability rises and the search burns out.
+
+The model: packets are anonymous subproblems.  Each processor that
+consumed a subproblem draws "branch" with probability
+``p(t) = p0 * exp(-total_consumed / tau)`` and then owes
+``branching_factor`` future generations, paid one per tick (the
+engine's one-packet-per-tick model).  ``p0 * branching_factor > 1``
+gives an initial supercritical explosion, the decaying ``p(t)`` the
+burn-out — the boom/bust load profile that motivated the paper.
+
+Processor 0 seeds the search with ``seeds`` root subproblems.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["BranchAndBoundWorkload"]
+
+
+class BranchAndBoundWorkload:
+    """Boom/bust branch-and-bound load model.
+
+    Parameters
+    ----------
+    n:
+        Number of processors.
+    p0:
+        Initial branch probability (per consumed subproblem).
+    branching_factor:
+        Children spawned per branching subproblem.
+    tau:
+        Bound-tightening time constant in units of *consumed
+        subproblems*; larger = longer search.
+    seeds:
+        Root subproblems injected at processor 0 (one per tick).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        p0: float = 0.6,
+        branching_factor: int = 2,
+        tau: float = 2000.0,
+        seeds: int = 4,
+    ) -> None:
+        if not 0 < p0 <= 1:
+            raise ValueError(f"need 0 < p0 <= 1, got {p0}")
+        if branching_factor < 1:
+            raise ValueError(f"branching_factor must be >= 1, got {branching_factor}")
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        self.n = n
+        self.p0 = p0
+        self.bf = branching_factor
+        self.tau = tau
+        self.pending = np.zeros(n, dtype=np.int64)
+        self.pending[0] = seeds
+        self.total_consumed = 0
+        self.total_spawned = seeds
+
+    @property
+    def branch_probability(self) -> float:
+        """Current branch probability (decays as the bound tightens)."""
+        return self.p0 * math.exp(-self.total_consumed / self.tau)
+
+    def actions(
+        self, t: int, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        out = np.zeros(self.n, dtype=np.int64)
+        p = self.branch_probability
+        # pay one pending generation per tick, else expand a subproblem
+        gen = self.pending > 0
+        out[gen] = 1
+        self.pending[gen] -= 1
+        expand = (~gen) & (loads > 0)
+        out[expand] = -1
+        n_expand = int(expand.sum())
+        self.total_consumed += n_expand
+        branch = rng.random(self.n) < p
+        spawners = expand & branch
+        self.pending[spawners] += self.bf
+        self.total_spawned += int(spawners.sum()) * self.bf
+        return out
+
+    @property
+    def finished(self) -> bool:
+        """Search has burnt out when nothing is pending (the engine's
+        remaining load still needs consuming)."""
+        return bool((self.pending == 0).all())

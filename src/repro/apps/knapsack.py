@@ -1,0 +1,128 @@
+"""Distributed branch & bound for the 0/1 knapsack problem.
+
+A second best-first B&B application (the family the paper's
+introduction motivates): tasks are partial item decisions, the
+fractional (Dantzig) relaxation bounds the remaining value, and the
+incumbent prunes.  Like the TSP app, the distributed answer is verified
+against exact dynamic programming — correctness is independent of
+every balancing parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.rng import make_rng
+
+__all__ = ["KnapsackInstance", "KnapsackTask", "KnapsackApp", "dp_knapsack"]
+
+
+@dataclass(frozen=True, slots=True)
+class KnapsackInstance:
+    """0/1 knapsack with integer weights and values."""
+
+    weights: tuple[int, ...]
+    values: tuple[int, ...]
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != len(self.values):
+            raise ValueError("weights and values must have equal length")
+        if any(w <= 0 for w in self.weights) or any(v < 0 for v in self.values):
+            raise ValueError("weights must be positive, values non-negative")
+        if self.capacity < 0:
+            raise ValueError("capacity must be >= 0")
+
+    @classmethod
+    def random(
+        cls, n_items: int, seed: int = 0, *, max_weight: int = 30,
+        max_value: int = 50, tightness: float = 0.5,
+    ) -> "KnapsackInstance":
+        if n_items < 1:
+            raise ValueError("need >= 1 item")
+        rng = make_rng(seed)
+        w = tuple(int(x) for x in rng.integers(1, max_weight + 1, n_items))
+        v = tuple(int(x) for x in rng.integers(0, max_value + 1, n_items))
+        cap = max(1, int(sum(w) * tightness))
+        return cls(weights=w, values=v, capacity=cap)
+
+    @property
+    def n_items(self) -> int:
+        return len(self.weights)
+
+
+@dataclass(frozen=True, slots=True)
+class KnapsackTask:
+    """Items ``0..idx-1`` decided; current weight and value."""
+
+    idx: int
+    weight: int
+    value: int
+
+
+class KnapsackApp:
+    """Branch & bound with the Dantzig fractional upper bound.
+
+    Items are pre-sorted by value density, so the relaxation is the
+    standard greedy-with-fractional-last-item bound (admissible).
+    """
+
+    def __init__(self, instance: KnapsackInstance) -> None:
+        self.instance = instance
+        order = sorted(
+            range(instance.n_items),
+            key=lambda i: (
+                -(instance.values[i] / instance.weights[i]),
+                instance.weights[i],
+            ),
+        )
+        self.w = [instance.weights[i] for i in order]
+        self.v = [instance.values[i] for i in order]
+        self.best_value = 0
+        self.expanded = 0
+        self.pruned = 0
+
+    def initial_tasks(self) -> Iterable[KnapsackTask]:
+        yield KnapsackTask(idx=0, weight=0, value=0)
+
+    def execute(self, task: KnapsackTask) -> Iterator[KnapsackTask]:
+        self.expanded += 1
+        if task.value > self.best_value:
+            self.best_value = task.value
+        if task.idx == len(self.w):
+            return
+        if self._upper_bound(task) <= self.best_value:
+            self.pruned += 1
+            return
+        i = task.idx
+        # include item i (if it fits), then exclude it
+        if task.weight + self.w[i] <= self.instance.capacity:
+            yield KnapsackTask(
+                idx=i + 1, weight=task.weight + self.w[i], value=task.value + self.v[i]
+            )
+        yield KnapsackTask(idx=i + 1, weight=task.weight, value=task.value)
+
+    def _upper_bound(self, task: KnapsackTask) -> float:
+        """Greedy fractional relaxation over the remaining items."""
+        cap = self.instance.capacity - task.weight
+        bound = float(task.value)
+        for i in range(task.idx, len(self.w)):
+            if self.w[i] <= cap:
+                cap -= self.w[i]
+                bound += self.v[i]
+            else:
+                bound += self.v[i] * cap / self.w[i]
+                break
+        return bound
+
+
+def dp_knapsack(instance: KnapsackInstance) -> int:
+    """Exact optimum by dynamic programming (reference oracle)."""
+    best = np.zeros(instance.capacity + 1, dtype=np.int64)
+    for w, v in zip(instance.weights, instance.values):
+        if w <= instance.capacity:
+            best[w:] = np.maximum(best[w:], best[:-w] + v)
+    return int(best.max())

@@ -1,0 +1,108 @@
+"""Backtrack tree-search workload: a random tree of bounded depth.
+
+Models the dynamic-tree-embedding scenario the related work discusses
+(Leighton et al., Ranade, references [5, 19]): a search tree unfolds at
+runtime; each expanded node has a random number of children; depth is
+bounded, so the tree — and the load — eventually dies out without any
+global bound signal.
+
+Because packets are anonymous (the engine migrates them freely), the
+model tracks the *depth composition* of each processor's local pool and
+samples the depth of a consumed packet from it.  Balancing operations
+move packets invisibly to the app, so the pool composition is
+approximated as the processor-local mix, refreshed by a drift term
+toward the global mix — an explicit, documented approximation that
+keeps the workload model O(depth) per processor per tick.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TreeSearchWorkload"]
+
+
+class TreeSearchWorkload:
+    """Random-tree backtrack search.
+
+    Parameters
+    ----------
+    n:
+        Number of processors.
+    max_depth:
+        Tree depth bound; nodes at ``max_depth`` are leaves.
+    child_probs:
+        Probabilities of 0, 1, 2, ... children per expanded node
+        (default: (0.3, 0.2, 0.5) — supercritical mean 1.2 until the
+        depth bound bites).
+    seeds:
+        Root nodes injected at processor 0.
+    mix_rate:
+        Per-tick drift of each local depth mix toward the global mix,
+        standing in for the (invisible) packet migrations.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        max_depth: int = 12,
+        child_probs: tuple[float, ...] = (0.3, 0.2, 0.5),
+        seeds: int = 4,
+        mix_rate: float = 0.2,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if abs(sum(child_probs) - 1.0) > 1e-9:
+            raise ValueError(f"child_probs must sum to 1, got {child_probs}")
+        if not 0 <= mix_rate <= 1:
+            raise ValueError(f"mix_rate must be in [0,1], got {mix_rate}")
+        self.n = n
+        self.max_depth = max_depth
+        self.child_probs = np.asarray(child_probs, dtype=float)
+        self.mix_rate = mix_rate
+        # depth_mix[i, d]: estimated fraction of processor i's pool at depth d
+        self.depth_mix = np.zeros((n, max_depth + 1))
+        self.depth_mix[:, 0] = 1.0
+        self.pending = np.zeros(n, dtype=np.int64)
+        self.pending_depth: list[list[int]] = [[] for _ in range(n)]
+        self.pending_depth[0] = [0] * seeds
+        self.pending[0] = seeds
+        self.total_expanded = 0
+
+    def actions(
+        self, t: int, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        out = np.zeros(self.n, dtype=np.int64)
+        for i in range(self.n):
+            if self.pending[i] > 0:
+                out[i] = 1
+                self.pending[i] -= 1
+                d = self.pending_depth[i].pop()
+                # the generated packet joins i's pool at depth d
+                w = 1.0 / max(float(loads[i]) + 1.0, 1.0)
+                self.depth_mix[i] *= 1 - w
+                self.depth_mix[i, d] += w
+            elif loads[i] > 0:
+                out[i] = -1
+                self.total_expanded += 1
+                mix = self.depth_mix[i]
+                tot = mix.sum()
+                probs = mix / tot if tot > 0 else None
+                d = int(rng.choice(self.max_depth + 1, p=probs))
+                if d < self.max_depth:
+                    kids = int(rng.choice(self.child_probs.size, p=self.child_probs))
+                    if kids:
+                        self.pending[i] += kids
+                        self.pending_depth[i].extend([d + 1] * kids)
+        # drift local mixes toward the global mix (invisible migrations)
+        if self.mix_rate:
+            global_mix = self.depth_mix.mean(axis=0)
+            self.depth_mix = (
+                (1 - self.mix_rate) * self.depth_mix + self.mix_rate * global_mix
+            )
+        return out
+
+    @property
+    def finished(self) -> bool:
+        return bool((self.pending == 0).all())

@@ -1,0 +1,53 @@
+"""Baseline balancers for comparison.
+
+Each baseline implements the same ``Balancer`` protocol as the paper's
+engine (``step(actions)`` / ``loads_snapshot()``), so the same
+:class:`repro.simulation.driver.Simulation` and workload traces drive
+all of them:
+
+* :class:`~repro.baselines.no_balance.NoBalance` — no balancing at all
+  (the do-nothing floor);
+* :class:`~repro.baselines.random_scatter.RandomScatter` — section 5's
+  strawman: every tick each processor ships its *entire* load to one
+  random processor; expectations are perfectly balanced but the
+  variation is enormous (this is the point of section 5);
+* :class:`~repro.baselines.rsu.RSU` — Rudolph, Slivkin-Allalouf &
+  Upfal (SPAA'91), the only prior fully-dynamic scheme with an
+  attempted analysis (the paper's reference [20]): each tick, with
+  probability ``~ 1/load``, pair with a random processor and equalise
+  if the loads differ enough;
+* :class:`~repro.baselines.gradient.GradientModel` — Lin & Keller's
+  gradient model (reference [6]): packets flow along a topology's
+  gradient surface toward under-loaded processors;
+* :class:`~repro.baselines.global_average.GlobalAverageOracle` — a
+  centralised oracle that re-levels the whole machine every tick: the
+  unbeatable quality bound (and the scalability antithesis);
+* :class:`~repro.baselines.diffusion.Diffusion` — classic first-order
+  diffusion (Cybenko'89) on a topology: the spectral-gap-limited local
+  alternative;
+* :class:`~repro.baselines.work_stealing.WorkStealing` — the
+  receiver-initiated Cilk-style runtime scheme: keeps processors
+  *busy* without keeping loads *equal* (the paper's §1 distinction
+  between the two application classes).
+"""
+
+from repro.baselines.base import BaselineBalancer, run_baseline
+from repro.baselines.no_balance import NoBalance
+from repro.baselines.random_scatter import RandomScatter
+from repro.baselines.rsu import RSU
+from repro.baselines.gradient import GradientModel
+from repro.baselines.global_average import GlobalAverageOracle
+from repro.baselines.diffusion import Diffusion
+from repro.baselines.work_stealing import WorkStealing
+
+__all__ = [
+    "BaselineBalancer",
+    "run_baseline",
+    "NoBalance",
+    "RandomScatter",
+    "RSU",
+    "GradientModel",
+    "GlobalAverageOracle",
+    "Diffusion",
+    "WorkStealing",
+]

@@ -1,0 +1,93 @@
+"""Shared machinery for baseline balancers.
+
+A baseline tracks only the real load vector (no virtual classes — those
+are specific to the paper's algorithm).  Subclasses implement
+:meth:`_balance`, called once per tick after the workload actions have
+been applied.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.borrowing import BorrowCounters
+from repro.rng import RngFactory, make_rng
+from repro.simulation.driver import Simulation
+from repro.simulation.result import RunResult
+from repro.workload.base import WorkloadModel
+
+__all__ = ["BaselineBalancer", "run_baseline"]
+
+
+class BaselineBalancer:
+    """Base class implementing the ``Balancer`` protocol."""
+
+    def __init__(
+        self, n: int, *, rng: int | np.random.Generator | None = 0
+    ) -> None:
+        if n < 2:
+            raise ValueError(f"need n >= 2, got {n}")
+        self.n = n
+        self.rng = make_rng(rng)
+        self.l = np.zeros(n, dtype=np.int64)
+        self.counters = BorrowCounters()  # only `starved` is used
+        self.total_ops = 0
+        self.packets_migrated = 0
+        self.global_time = 0
+
+    def step(self, actions: np.ndarray) -> None:
+        actions = np.asarray(actions)
+        if actions.shape != (self.n,):
+            raise ValueError(
+                f"actions must have shape ({self.n},), got {actions.shape}"
+            )
+        gen = actions == 1
+        con = actions == -1
+        self.l[gen] += 1
+        can = con & (self.l > 0)
+        self.l[can] -= 1
+        self.counters.starved += int((con & ~can).sum())
+        self._balance()
+        self.global_time += 1
+
+    def _balance(self) -> None:
+        raise NotImplementedError
+
+    def loads_snapshot(self) -> np.ndarray:
+        return self.l.copy()
+
+    def _migrate(self, before: np.ndarray, after: np.ndarray) -> None:
+        """Book migrations as the positive part of the load delta."""
+        self.packets_migrated += int(np.maximum(after - before, 0).sum())
+
+
+def run_baseline(
+    balancer: BaselineBalancer,
+    workload: WorkloadModel,
+    steps: int,
+    *,
+    seed: int | RngFactory = 0,
+    meta: dict[str, Any] | None = None,
+) -> RunResult:
+    """Drive a baseline through a workload; same packaging as
+    :func:`repro.simulation.driver.run_simulation`."""
+    factory = seed if isinstance(seed, RngFactory) else RngFactory(seed)
+    sim = Simulation(balancer, workload, workload_rng=factory.named("workload"))
+    loads = sim.run(steps)
+    info: dict[str, Any] = {
+        "n": balancer.n,
+        "steps": steps,
+        "balancer": type(balancer).__name__,
+        "workload": type(workload).__name__,
+    }
+    if meta:
+        info.update(meta)
+    return RunResult(
+        loads=loads,
+        counters=balancer.counters,
+        total_ops=balancer.total_ops,
+        packets_migrated=balancer.packets_migrated,
+        meta=info,
+    )

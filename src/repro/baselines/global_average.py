@@ -1,0 +1,27 @@
+"""Centralised oracle: re-level the whole machine every tick.
+
+The quality upper bound — spread never exceeds 1 — and the scalability
+antithesis: it needs global knowledge and a full redistribution per
+tick, exactly what the paper's introduction argues cannot scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineBalancer
+from repro.core.balance import even_split
+
+__all__ = ["GlobalAverageOracle"]
+
+
+class GlobalAverageOracle(BaselineBalancer):
+    """Every tick, distribute the total load evenly (±1) over all
+    processors (random placement of the remainder)."""
+
+    def _balance(self) -> None:
+        before = self.l.copy()
+        total = int(self.l.sum())
+        self.l = even_split(total, self.n, start=int(self.rng.integers(self.n)))
+        self._migrate(before, self.l)
+        self.total_ops += 1

@@ -1,0 +1,14 @@
+"""The do-nothing baseline: loads evolve by workload actions only."""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineBalancer
+
+__all__ = ["NoBalance"]
+
+
+class NoBalance(BaselineBalancer):
+    """No balancing: measures the raw imbalance of the workload itself."""
+
+    def _balance(self) -> None:
+        pass

@@ -1,0 +1,33 @@
+"""Section 5's strawman: ship everything to one random processor.
+
+"Consider e.g. the simple algorithm that sends all its packets in each
+time step to a single random chosen processor.  The expected load of
+all processors is the same, but the variation of this value is very
+large, indicating that the algorithm is not able to balance the load."
+
+This baseline exists to demonstrate exactly that: its expected loads
+are perfectly uniform, yet its variation density does not decay —
+compare :mod:`repro.theory.variation` and the A1 benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineBalancer
+
+__all__ = ["RandomScatter"]
+
+
+class RandomScatter(BaselineBalancer):
+    """Every tick, every processor sends its whole load to a uniformly
+    random processor (possibly itself, which is a no-op)."""
+
+    def _balance(self) -> None:
+        targets = self.rng.integers(0, self.n, size=self.n)
+        new = np.zeros_like(self.l)
+        np.add.at(new, targets, self.l)
+        moved = int(self.l[targets != np.arange(self.n)].sum())
+        self.l = new
+        self.packets_migrated += moved
+        self.total_ops += self.n

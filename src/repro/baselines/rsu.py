@@ -1,0 +1,60 @@
+"""The Rudolph–Slivkin-Allalouf–Upfal scheme (SPAA'91), reference [20].
+
+The only earlier fully-dynamic balancing algorithm with an attempted
+analysis (the paper notes the original proof "makes some incorrect
+assumptions" — Mehlhorn's counterexample [10] — but the idea is sound
+after modifications).  The scheme: each time step, each processor with
+load ``l`` flips a coin with probability ``min(1, 1/l)`` (empty
+processors use probability 1); on heads, it picks one uniformly random
+partner and, if the two loads differ by more than a threshold, the pair
+equalises.  The inverse-load probability makes balancing activity
+self-throttling: heavily loaded processors initiate rarely per unit of
+work, lightly loaded ones aggressively seek work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineBalancer
+
+__all__ = ["RSU"]
+
+
+class RSU(BaselineBalancer):
+    """Inverse-load-probability pairwise balancing.
+
+    Parameters
+    ----------
+    threshold:
+        Minimal load difference that triggers the pairwise equalise
+        (the original uses a small constant; default 1).
+    """
+
+    def __init__(self, n: int, *, threshold: int = 1, rng=0) -> None:
+        super().__init__(n, rng=rng)
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+
+    def _balance(self) -> None:
+        u = self.rng.random(self.n)
+        prob = np.minimum(1.0, 1.0 / np.maximum(self.l, 1))
+        initiators = np.nonzero(u < prob)[0]
+        for i in self.rng.permutation(initiators):
+            j = int(self.rng.integers(self.n - 1))
+            if j >= i:
+                j += 1
+            li, lj = int(self.l[i]), int(self.l[j])
+            if abs(li - lj) <= self.threshold:
+                continue
+            total = li + lj
+            hi = (total + 1) // 2
+            lo = total // 2
+            # the heavier keeps the ceil (minimises migration)
+            if li >= lj:
+                self.l[i], self.l[j] = hi, lo
+            else:
+                self.l[i], self.l[j] = lo, hi
+            self.packets_migrated += abs(li - lj) // 2
+            self.total_ops += 1

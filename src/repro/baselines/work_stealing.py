@@ -1,0 +1,77 @@
+"""Randomised work stealing (the Cilk/TBB runtime family).
+
+The receiver-initiated dual of the paper's sender/threshold scheme: a
+processor that runs *empty* picks a uniformly random victim and steals
+a fraction of its load (classically half).  Work stealing is the
+de-facto standard in task runtimes; it guarantees every processor
+*has* work (the paper's "first type" of application, §1) but makes no
+attempt to keep loads *equal* (the "second type" the paper targets) —
+comparing the two on the same trace exhibits exactly that distinction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineBalancer
+
+__all__ = ["WorkStealing"]
+
+
+class WorkStealing(BaselineBalancer):
+    """Steal-on-empty with random victim selection.
+
+    Parameters
+    ----------
+    steal_fraction:
+        Fraction of the victim's load taken per successful steal
+        (default 0.5 — steal-half).
+    attempts:
+        Random victims probed per empty processor per tick (a failed
+        probe hits another empty processor).
+    low_watermark:
+        A processor initiates stealing when its load is ``<=`` this
+        (0 = only when completely empty).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        steal_fraction: float = 0.5,
+        attempts: int = 2,
+        low_watermark: int = 0,
+        rng=0,
+    ) -> None:
+        super().__init__(n, rng=rng)
+        if not 0 < steal_fraction <= 1:
+            raise ValueError(f"steal_fraction must be in (0,1], got {steal_fraction}")
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        if low_watermark < 0:
+            raise ValueError(f"low_watermark must be >= 0, got {low_watermark}")
+        self.steal_fraction = steal_fraction
+        self.attempts = attempts
+        self.low_watermark = low_watermark
+        self.successful_steals = 0
+        self.failed_probes = 0
+
+    def _balance(self) -> None:
+        thieves = np.nonzero(self.l <= self.low_watermark)[0]
+        for thief in self.rng.permutation(thieves):
+            if self.l[thief] > self.low_watermark:
+                continue  # an earlier steal already fed this processor
+            for _ in range(self.attempts):
+                victim = int(self.rng.integers(self.n - 1))
+                if victim >= thief:
+                    victim += 1
+                booty = int(self.l[victim] * self.steal_fraction)
+                if booty <= 0:
+                    self.failed_probes += 1
+                    continue
+                self.l[victim] -= booty
+                self.l[thief] += booty
+                self.packets_migrated += booty
+                self.total_ops += 1
+                self.successful_steals += 1
+                break

@@ -1,0 +1,163 @@
+"""Command line interface: regenerate any paper artifact.
+
+Usage::
+
+    repro list
+    repro fig6 [--trials 20000] [--out results/]
+    repro fig7 | fig8 | fig9 | fig10  [--runs 100] [--out results/]
+    repro table1 [--runs 100]
+    repro theorem12 | theorem3 | lemma4 | lemma56
+    repro scaling | async                     (A3/A4 ablations)
+    repro all [--runs 25] [--out results/]
+
+Every command prints an ASCII rendering; ``--out DIR`` additionally
+writes the raw series as CSV files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of Lüling & Monien, SPAA'93.",
+    )
+    p.add_argument(
+        "command",
+        choices=[
+            "list",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "table1",
+            "theorem12",
+            "theorem3",
+            "lemma4",
+            "lemma56",
+            "scaling",
+            "async",
+            "baselines",
+            "locality",
+            "sensitivity",
+            "all",
+        ],
+        help="artifact to regenerate",
+    )
+    p.add_argument("--runs", type=int, default=None, help="runs per config (paper: 100)")
+    p.add_argument("--trials", type=int, default=20_000, help="MC trials (fig6/theorem12)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", type=Path, default=None, help="directory for CSV output")
+    return p
+
+
+def _run_one(cmd: str, args: argparse.Namespace) -> str:
+    from repro.experiments import figures, tables
+
+    if cmd == "fig6":
+        res = figures.figure6(trials=args.trials, seed=args.seed)
+        if args.out:
+            res.to_csv(args.out)
+        return res.render()
+    if cmd in ("fig7", "fig8", "fig9", "fig10"):
+        fn = getattr(figures, f"figure{cmd[3:]}")
+        res = fn(runs=args.runs, seed=args.seed)
+        if args.out:
+            res.to_csv(args.out, stem=cmd)
+        return res.render()
+    if cmd == "table1":
+        return tables.table1(runs=args.runs, seed=args.seed).render()
+    if cmd == "theorem12":
+        return tables.theorem12_table(trials=args.trials, seed=args.seed).render()
+    if cmd == "theorem3":
+        return tables.theorem3_table().render()
+    if cmd == "lemma4":
+        return tables.lemma4_table(seed=args.seed).render()
+    if cmd == "lemma56":
+        return tables.lemma56_table(runs=args.runs, seed=args.seed).render()
+    if cmd == "scaling":
+        from repro.experiments.scaling import scaling_experiment
+
+        return scaling_experiment(
+            runs=args.runs or 3, seed=args.seed
+        ).render()
+    if cmd == "baselines":
+        from repro.experiments.ablations import baseline_comparison
+
+        return baseline_comparison(seed=args.seed).render()
+    if cmd == "locality":
+        from repro.experiments.ablations import locality_study
+
+        return locality_study(seed=args.seed).render()
+    if cmd == "sensitivity":
+        from repro.experiments.sensitivity import sensitivity_sweep
+
+        return sensitivity_sweep(runs=args.runs, seed=args.seed).render()
+    if cmd == "async":
+        from repro.core.async_engine import AsyncEngine, TableRates
+        from repro.experiments.report import render_table
+        from repro.params import LBParams
+        from repro.workload import Section7Workload
+
+        rows = []
+        for latency in (0.0, 0.25, 1.0, 4.0):
+            w = Section7Workload(64, 400, layout_rng=args.seed)
+            eng = AsyncEngine(
+                LBParams(f=1.1, delta=2, C=4),
+                TableRates(*w.phase_tables),
+                latency=latency,
+                seed=args.seed,
+            )
+            res = eng.run(400.0)
+            rows.append(
+                [latency, res.final_cv(), res.total_ops, res.dropped_ops]
+            )
+        return render_table(["latency", "final CV", "ops", "dropped"], rows)
+    raise ValueError(f"unknown command {cmd}")
+
+
+_ALL = [
+    "theorem12",
+    "theorem3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table1",
+    "lemma4",
+    "lemma56",
+    "scaling",
+    "async",
+    "baselines",
+    "locality",
+    "sensitivity",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        print("available artifacts:", ", ".join(_ALL))
+        return 0
+    commands = _ALL if args.command == "all" else [args.command]
+    for cmd in commands:
+        t0 = time.perf_counter()
+        out = _run_one(cmd, args)
+        dt = time.perf_counter() - t0
+        print(f"== {cmd} ({dt:.1f}s) " + "=" * 40)
+        print(out)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""The paper's algorithm: primitives, single-producer models, full engine.
+
+* :mod:`repro.core.balance` — even ±1 splitting and the *snake*
+  (boustrophedon) matrix distribution realising the appendix's
+  invariants.
+* :mod:`repro.core.triggers` — factor-``f`` trigger policies.
+* :mod:`repro.core.selection` — candidate-set selection strategies.
+* :mod:`repro.core.opg` / :mod:`repro.core.opgc` — the packet-exact
+  one-processor-generator(-consumer) models of section 3.
+* :mod:`repro.core.engine` — the full n-processor generator/consumer
+  algorithm of section 4 + appendix, including the borrowing protocol
+  (:mod:`repro.core.borrowing`) with its Table-1 counters.
+"""
+
+from repro.core.balance import even_split, snake_distribute, SnakeDealer
+from repro.core.triggers import FactorTrigger, TriggerDecision
+from repro.core.selection import (
+    CandidateSelector,
+    GlobalRandomSelector,
+    NeighborhoodSelector,
+)
+from repro.core.opg import OPGResult, simulate_opg
+from repro.core.opgc import DecreaseResult, simulate_decrease, simulate_opgc
+from repro.core.engine import Engine, EngineConfig
+from repro.core.borrowing import BorrowCounters
+from repro.core.events import BalanceEvent
+from repro.core.processor import ProcessorView
+from repro.core.async_engine import (
+    AsyncEngine,
+    AsyncResult,
+    ConstantRates,
+    TableRates,
+)
+
+__all__ = [
+    "even_split",
+    "snake_distribute",
+    "SnakeDealer",
+    "FactorTrigger",
+    "TriggerDecision",
+    "CandidateSelector",
+    "GlobalRandomSelector",
+    "NeighborhoodSelector",
+    "OPGResult",
+    "simulate_opg",
+    "OPGCResult",
+    "simulate_opgc",
+    "DecreaseResult",
+    "simulate_decrease",
+    "Engine",
+    "EngineConfig",
+    "BorrowCounters",
+    "BalanceEvent",
+    "ProcessorView",
+    "AsyncEngine",
+    "AsyncResult",
+    "ConstantRates",
+    "TableRates",
+]

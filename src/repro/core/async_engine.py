@@ -1,0 +1,250 @@
+"""Asynchronous event-driven variant: the *practical* algorithm.
+
+The analysed algorithm (``core.engine``) runs on the paper's idealised
+timing model — a global unit clock, instantaneous balancing.  The
+algorithmic principle was deployed on real machines [7, 8, 4, 11] in a
+simpler form the paper's introduction describes: a processor watches
+its *total local load*; when it has changed by the factor ``f`` it
+balances with ``delta`` random partners; consumption takes whatever
+packet is local (no virtual classes, no borrowing — those exist to make
+the *analysis* compositional, not to run the machine).
+
+This module simulates that practical variant under realistic
+asynchrony:
+
+* each processor acts at the ticks of its own Poisson clock (rate 1);
+* a balancing operation takes ``latency`` time units to complete; the
+  re-distribution is computed from the loads at *completion* time
+  (state may have drifted — exactly the race a real network has);
+* a processor already engaged in an operation declines to join another
+  (the initiator proceeds with the partners that accepted; a fully
+  declined operation is dropped and counted).
+
+The A3 ablation (``benchmarks/test_bench_async.py``) uses this to show
+the paper's synchronous-model conclusions carry over: balance quality
+degrades only mildly with latency, and the f/delta trade-offs keep
+their ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.balance import even_split
+from repro.core.selection import CandidateSelector, GlobalRandomSelector
+from repro.core.triggers import FactorTrigger, TriggerDecision
+from repro.params import LBParams
+from repro.rng import make_rng
+from repro.simulation.eventqueue import EventQueue
+
+__all__ = ["RateProvider", "ConstantRates", "TableRates", "AsyncEngine", "AsyncResult"]
+
+
+class RateProvider(Protocol):
+    """Per-processor generate/consume rates as a function of time."""
+
+    n: int
+
+    def rates(self, time: float) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(g, c)`` probability vectors at ``time``."""
+        ...
+
+
+class ConstantRates:
+    """Time-invariant rates."""
+
+    def __init__(self, g: np.ndarray | list[float], c: np.ndarray | list[float]):
+        self.g = np.asarray(g, dtype=float)
+        self.c = np.asarray(c, dtype=float)
+        if self.g.shape != self.c.shape or self.g.ndim != 1:
+            raise ValueError("g and c must be equal-length vectors")
+        self.n = self.g.shape[0]
+
+    def rates(self, time: float) -> tuple[np.ndarray, np.ndarray]:
+        return self.g, self.c
+
+
+class TableRates:
+    """Rates from per-tick tables (adapter for §7 phase workloads).
+
+    >>> from repro.workload import Section7Workload
+    >>> w = Section7Workload(8, 100, layout_rng=0)
+    >>> provider = TableRates(*w.phase_tables)
+    """
+
+    def __init__(self, g_table: np.ndarray, c_table: np.ndarray) -> None:
+        if g_table.shape != c_table.shape or g_table.ndim != 2:
+            raise ValueError("tables must be equal-shape 2-D arrays")
+        self.g_table = g_table
+        self.c_table = c_table
+        self.n = g_table.shape[1]
+
+    def rates(self, time: float) -> tuple[np.ndarray, np.ndarray]:
+        idx = min(int(time), self.g_table.shape[0] - 1)
+        return self.g_table[idx], self.c_table[idx]
+
+
+@dataclass(frozen=True, slots=True)
+class AsyncResult:
+    """Outcome of one asynchronous run."""
+
+    times: np.ndarray          # snapshot times
+    loads: np.ndarray          # (len(times), n)
+    total_ops: int
+    dropped_ops: int
+    declined_joins: int
+    packets_migrated: int
+
+    @property
+    def n(self) -> int:
+        return self.loads.shape[1]
+
+    def final_cv(self) -> float:
+        final = self.loads[-1].astype(float)
+        mean = final.mean()
+        return float(final.std() / mean) if mean > 0 else 0.0
+
+
+# event payload kinds
+_ACTION = 0
+_COMPLETE = 1
+
+
+class AsyncEngine:
+    """Poisson-clocked, latency-aware simulation of the practical
+    algorithm.
+
+    Parameters
+    ----------
+    params:
+        ``f`` and ``delta`` are used; ``C`` is irrelevant here (no
+        borrowing in the practical variant).
+    rates:
+        Workload rates provider.
+    latency:
+        Completion delay of a balancing operation (time units; one unit
+        = one expected action per processor).
+    snapshot_dt:
+        Interval between load snapshots.
+    """
+
+    def __init__(
+        self,
+        params: LBParams,
+        rates: RateProvider,
+        *,
+        latency: float = 0.1,
+        snapshot_dt: float = 1.0,
+        seed: int | np.random.Generator | None = 0,
+        selector: CandidateSelector | None = None,
+    ) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        if snapshot_dt <= 0:
+            raise ValueError(f"snapshot_dt must be > 0, got {snapshot_dt}")
+        self.params = params
+        self.rates = rates
+        self.n = rates.n
+        params.validate_for_network(self.n)
+        self.latency = latency
+        self.snapshot_dt = snapshot_dt
+        self.rng = make_rng(seed)
+        self.selector = selector or GlobalRandomSelector(self.n)
+        self.trigger = FactorTrigger(params.f)
+
+        self.l = np.zeros(self.n, dtype=np.int64)
+        self.l_old = np.zeros(self.n, dtype=np.int64)
+        self.busy = np.zeros(self.n, dtype=bool)
+        self.queue: EventQueue[tuple] = EventQueue()
+        self.time = 0.0
+        self.total_ops = 0
+        self.dropped_ops = 0
+        self.declined_joins = 0
+        self.packets_migrated = 0
+
+    # -- simulation -----------------------------------------------------
+
+    def run(self, horizon: float) -> AsyncResult:
+        """Simulate until ``horizon``; return snapshots + counters."""
+        for i in range(self.n):
+            self._schedule_action(i)
+        snap_times = [0.0]
+        snaps = [self.l.copy()]
+        next_snap = self.snapshot_dt
+
+        for ev in self.queue.drain_until(horizon):
+            while ev.time >= next_snap - 1e-12 and next_snap <= horizon:
+                snap_times.append(next_snap)
+                snaps.append(self.l.copy())
+                next_snap += self.snapshot_dt
+            self.time = ev.time
+            kind = ev.payload[0]
+            if kind == _ACTION:
+                self._do_action(ev.payload[1])
+            else:
+                self._complete_balance(ev.payload[1], ev.payload[2])
+        while next_snap <= horizon:
+            snap_times.append(next_snap)
+            snaps.append(self.l.copy())
+            next_snap += self.snapshot_dt
+
+        return AsyncResult(
+            times=np.asarray(snap_times),
+            loads=np.asarray(snaps),
+            total_ops=self.total_ops,
+            dropped_ops=self.dropped_ops,
+            declined_joins=self.declined_joins,
+            packets_migrated=self.packets_migrated,
+        )
+
+    # -- internals -------------------------------------------------------
+
+    def _schedule_action(self, i: int) -> None:
+        gap = self.rng.exponential(1.0)
+        self.queue.push(self.time + gap, (_ACTION, i))
+
+    def _do_action(self, i: int) -> None:
+        g, c = self.rates.rates(self.time)
+        u = self.rng.random()
+        if u < g[i]:
+            self.l[i] += 1
+        elif u < g[i] + c[i] and self.l[i] > 0:
+            self.l[i] -= 1
+        self._maybe_initiate(i)
+        self._schedule_action(i)
+
+    def _maybe_initiate(self, i: int) -> None:
+        if self.busy[i]:
+            return
+        cur = int(self.l[i])
+        # the practical variant triggers on the TOTAL local load (the
+        # analysed engine triggers on the own-class load d_ii)
+        if self.trigger.check(cur, int(self.l_old[i])) is TriggerDecision.NONE:
+            return
+        partners = self.selector.select(i, self.params.delta, self.rng)
+        accepted = [int(p) for p in partners if not self.busy[p]]
+        self.declined_joins += len(partners) - len(accepted)
+        if not accepted:
+            self.dropped_ops += 1
+            # re-anchor the trigger so a refused processor does not
+            # retry on every subsequent action while the net is busy
+            self.l_old[i] = int(self.l[i])
+            return
+        group = [i, *accepted]
+        for p in group:
+            self.busy[p] = True
+        self.queue.push(self.time + self.latency, (_COMPLETE, i, tuple(group)))
+
+    def _complete_balance(self, i: int, group: tuple[int, ...]) -> None:
+        parts = np.asarray(group, dtype=np.int64)
+        before = self.l[parts].copy()
+        total = int(before.sum())
+        after = even_split(total, len(group), start=int(self.rng.integers(len(group))))
+        self.l[parts] = after
+        self.packets_migrated += int(np.maximum(after - before, 0).sum())
+        self.l_old[parts] = self.l[parts]
+        self.busy[parts] = False
+        self.total_ops += 1

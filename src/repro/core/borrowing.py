@@ -1,0 +1,102 @@
+"""Borrowing bookkeeping (section 4) — counters and pure helpers.
+
+When a processor must consume but has no self-generated packets left
+(``d[i][i] == 0`` while ``l[i] > 0``), it consumes a packet belonging to
+another *virtual load class* ``j`` and records a debt ``b[i][j]``.  The
+debt says: one virtual class-``j`` packet on ``i`` is no longer backed
+by a real packet.  Debts keep the virtual accounting — on which the
+whole section-3 analysis operates — intact, at the price of the
+``+ C`` additive slack in Theorem 4.
+
+The global conservation law (checked by the engine's invariant mode and
+by property tests) is::
+
+    sum_ij (d[i][j] + b[i][j])  ==  sum_i l[i]  +  sum_ij b[i][j]
+    (virtual load == real load + outstanding debt)
+
+with ``l[i] == sum_j d[i][j]`` row by row.
+
+Debt life cycle:
+
+* created by a *borrow* (`total_borrow` counter);
+* erased when the debtor generates a new packet (repayment, free);
+* erased by a *remote exchange* with the producer ``j`` when ``j``
+  still holds own-class packets (`remote_borrow` counter) — ``x =
+  min(d[j][j], sum_k b[i][k])`` real packets migrate ``j -> i``,
+  backing ``x`` debts, and ``j`` books the consumption via a simulated
+  workload decrease (`decrease_sim` counter);
+* otherwise resolved by the section-4 class-``j`` balancing dance
+  (`borrow_fail` counter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BorrowCounters", "eligible_borrow_classes", "pick_debt_class"]
+
+
+@dataclass(slots=True)
+class BorrowCounters:
+    """The four Table-1 statistics plus auxiliary engine counters.
+
+    Table 1 of the paper reports, per run (64 processors, 500 steps,
+    averaged over 100 runs): ``total_borrow``, ``remote_borrow``,
+    ``borrow_fail`` and ``decrease_sim``.
+    """
+
+    total_borrow: int = 0
+    remote_borrow: int = 0
+    borrow_fail: int = 0
+    decrease_sim: int = 0
+    # auxiliary (not in Table 1)
+    repayments: int = 0
+    consume_blocked: int = 0
+    starved: int = 0
+    debt_annihilated: int = 0
+    debts_settled: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "total_borrow": self.total_borrow,
+            "remote_borrow": self.remote_borrow,
+            "borrow_fail": self.borrow_fail,
+            "decrease_sim": self.decrease_sim,
+            "repayments": self.repayments,
+            "consume_blocked": self.consume_blocked,
+            "starved": self.starved,
+            "debt_annihilated": self.debt_annihilated,
+            "debts_settled": self.debts_settled,
+        }
+
+    def add(self, other: "BorrowCounters") -> None:
+        """Accumulate another counter set (multi-run aggregation)."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+def eligible_borrow_classes(
+    d_row: np.ndarray, b_row: np.ndarray, own: int
+) -> np.ndarray:
+    """Classes processor ``own`` may borrow from right now.
+
+    Eligible: ``d[own][j] > 0`` (a real packet of class ``j`` is locally
+    available) and ``b[own][j] == 0`` (at most one outstanding debt per
+    class, the paper's rule).  The own class is excluded — consuming
+    one's own packets never needs borrowing.
+    """
+    mask = (d_row > 0) & (b_row == 0)
+    mask[own] = False
+    return np.nonzero(mask)[0]
+
+
+def pick_debt_class(
+    b_row: np.ndarray, rng: np.random.Generator
+) -> int:
+    """Uniformly pick a class the processor currently owes (``b > 0``)."""
+    owed = np.nonzero(b_row > 0)[0]
+    if owed.size == 0:
+        raise ValueError("no outstanding debt to pick from")
+    return int(owed[rng.integers(owed.size)])

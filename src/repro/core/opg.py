@@ -1,0 +1,203 @@
+"""The one-processor-generator (OPG) model of section 3, packet-exact.
+
+Only processor 0 generates load packets (the paper calls it processor
+1); nothing is consumed, so the total load grows without bound.
+Whenever processor 0's load has grown by the factor ``f`` since its
+last balancing operation, it equalises (±1) with ``delta`` uniformly
+chosen partners — the algorithm of the paper's Figure 1.
+
+Purpose in the reproduction:
+
+* validate Theorems 1-2: the run-averaged ratio
+  ``E(l_0) / E(l_i)`` after ``t`` balancing operations tracks the
+  operator iteration ``G^t(1)`` and never exceeds
+  ``FIX(n, delta, f) <= delta / (delta + 1 - f)``;
+* the Lemma-4 cost benchmark: after ``m`` balancing operations at least
+  ``m`` packets have been generated and distributed (cost per balancing
+  step is amortised constant in the one-producer benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.balance import even_split
+from repro.core.selection import CandidateSelector, GlobalRandomSelector
+from repro.rng import make_rng
+
+__all__ = [
+    "OPGResult",
+    "simulate_opg",
+    "opg_expected_ratio",
+    "opg_meanfield_ratio",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class OPGResult:
+    """Trace of one OPG run.
+
+    ``loads_at_ops[t]`` is the full load vector right after the ``t``-th
+    balancing operation (row 0 = initial state), so the array has shape
+    ``(ops + 1, n)``.
+    """
+
+    n: int
+    delta: int
+    f: float
+    loads_at_ops: np.ndarray
+    steps: int
+    packets_generated: int
+    packets_migrated: int
+
+    @property
+    def ops(self) -> int:
+        return self.loads_at_ops.shape[0] - 1
+
+    @property
+    def producer_loads(self) -> np.ndarray:
+        return self.loads_at_ops[:, 0]
+
+    @property
+    def other_loads_mean(self) -> np.ndarray:
+        return self.loads_at_ops[:, 1:].mean(axis=1)
+
+
+def simulate_opg(
+    n: int,
+    delta: int,
+    f: float,
+    n_ops: int,
+    *,
+    initial_load: int = 0,
+    gen_prob: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+    selector: CandidateSelector | None = None,
+    max_steps: int | None = None,
+) -> OPGResult:
+    """Run the Figure-1 algorithm until ``n_ops`` balancing operations.
+
+    Parameters
+    ----------
+    initial_load:
+        Balanced starting load per processor (0 reproduces the paper's
+        from-scratch growth; a large value suppresses ±1 rounding when
+        comparing against the real-valued operator iteration).
+    gen_prob:
+        Probability that processor 0 generates a packet in a given time
+        step (the paper's ``x in {1, 0}``).
+    max_steps:
+        Optional safety bound on time steps (``None`` = unlimited; the
+        loop always terminates because the producer's load grows
+        unboundedly, so the factor-``f`` trigger keeps firing).
+    """
+    if n < 2 or not 1 <= delta < n:
+        raise ValueError(f"need n >= 2, 1 <= delta < n (n={n}, delta={delta})")
+    if f < 1.0:
+        raise ValueError(f"need f >= 1, got {f}")
+    if not 0 < gen_prob <= 1.0:
+        raise ValueError(f"need 0 < gen_prob <= 1, got {gen_prob}")
+    rng = make_rng(seed)
+    sel = selector or GlobalRandomSelector(n)
+
+    loads = np.full(n, initial_load, dtype=np.int64)
+    l_old = int(loads[0])
+    history = np.empty((n_ops + 1, n), dtype=np.int64)
+    history[0] = loads
+    ops = 0
+    steps = 0
+    generated = 0
+    migrated = 0
+
+    while ops < n_ops:
+        steps += 1
+        if max_steps is not None and steps > max_steps:
+            raise RuntimeError(
+                f"OPG did not reach {n_ops} ops within {max_steps} steps "
+                f"(ops={ops}); check f/gen_prob"
+            )
+        if gen_prob >= 1.0 or rng.random() < gen_prob:
+            loads[0] += 1
+            generated += 1
+        # Figure-1 trigger: l_new >= f * l_old, guarded at zero
+        if loads[0] >= 1 and loads[0] >= f * l_old and loads[0] > l_old:
+            partners = sel.select(0, delta, rng)
+            parts = np.concatenate(([0], partners))
+            before = loads[parts].copy()
+            total = int(before.sum())
+            after = even_split(total, delta + 1, start=int(rng.integers(delta + 1)))
+            loads[parts] = after
+            migrated += int(np.maximum(after - before, 0).sum())
+            l_old = int(loads[0])
+            ops += 1
+            history[ops] = loads
+
+    return OPGResult(
+        n=n,
+        delta=delta,
+        f=f,
+        loads_at_ops=history,
+        steps=steps,
+        packets_generated=generated,
+        packets_migrated=migrated,
+    )
+
+
+def opg_expected_ratio(
+    n: int,
+    delta: int,
+    f: float,
+    n_ops: int,
+    runs: int,
+    *,
+    initial_load: int = 0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Run-averaged ratio ``E(l_0) / E(l_i)`` after each balancing op.
+
+    Averages producer and non-producer loads over ``runs`` independent
+    simulations, then forms the ratio of expectations (the quantity
+    Lemma 1 tracks).  Index ``t`` of the result corresponds to ``t``
+    balancing operations; entry 0 is NaN when starting from zero load.
+    """
+    prod = np.zeros(n_ops + 1)
+    oth = np.zeros(n_ops + 1)
+    for r in range(runs):
+        res = simulate_opg(
+            n, delta, f, n_ops, initial_load=initial_load, seed=seed + 7919 * r
+        )
+        prod += res.producer_loads
+        oth += res.other_loads_mean
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = prod / oth
+    return ratio
+
+
+def opg_meanfield_ratio(
+    n: int,
+    delta: int,
+    f: float,
+    t: int,
+    *,
+    trials: int = 50_000,
+    seed: int = 0,
+) -> np.ndarray:
+    """Simulated ``E(l_0)/E(l_i)`` in the *real-valued* OPG model.
+
+    This is the process Lemma 1 analyses literally: per balancing step
+    the producer's load is multiplied by ``f`` and then averaged with
+    ``delta`` uniformly chosen partners (loads are reals, no ±1
+    rounding, no trigger discreteness).  The returned ratio trajectory
+    converges to the operator iteration ``G^t(1)`` as ``trials`` grows
+    — the primary Theorem-1/2 validation.  The packet-exact simulator
+    (:func:`simulate_opg`) adds integer effects on top.
+    """
+    from repro.theory.variation import mc_variation_density
+
+    res = mc_variation_density(
+        t, n, f, delta=delta, mode="exact", trials=trials, seed=seed
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return res.e_producer / res.e_other

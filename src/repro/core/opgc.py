@@ -1,0 +1,284 @@
+"""One-processor-generator-consumer (OPGC) model and decrease simulation.
+
+Extends :mod:`repro.core.opg`: processor 0 may also *consume* packets.
+A growth phase applies the operator ``G`` to the expected-load ratio, a
+consumption phase the operator ``C``; Theorem 3 pins the ratio between
+``FIX(n, delta, 1/f)`` and ``FIX(n, delta, f)``.
+
+The module also implements the section-6 cost experiment: starting from
+``x`` packets on processor 0, repeatedly consume until the factor-``f``
+decrease trigger fires, balance, and count balancing operations until
+processor 0's load has dropped to ``x - c``.  Lemma 5 brackets the
+expected count via the factors ``U``/``D``; Lemma 6 sharpens the upper
+bound (see :mod:`repro.theory.bounds`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.balance import even_split
+from repro.core.selection import CandidateSelector, GlobalRandomSelector
+from repro.rng import make_rng
+from repro.theory.fixpoint import fix
+
+__all__ = [
+    "OPGCResult",
+    "simulate_opgc",
+    "opgc_expected_ratio",
+    "DecreaseResult",
+    "simulate_decrease",
+    "expected_decrease_ops",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class OPGCResult:
+    """Trace of one OPGC run: loads after every balancing operation,
+    plus which direction (``+1`` growth, ``-1`` decrease) triggered it."""
+
+    n: int
+    delta: int
+    f: float
+    loads_at_ops: np.ndarray  # (ops + 1, n)
+    op_directions: np.ndarray  # (ops,), values +1 / -1
+    steps: int
+
+    @property
+    def ops(self) -> int:
+        return self.loads_at_ops.shape[0] - 1
+
+    @property
+    def producer_loads(self) -> np.ndarray:
+        return self.loads_at_ops[:, 0]
+
+    @property
+    def other_loads_mean(self) -> np.ndarray:
+        return self.loads_at_ops[:, 1:].mean(axis=1)
+
+
+def simulate_opgc(
+    n: int,
+    delta: int,
+    f: float,
+    phases: Sequence[tuple[float, float, int]],
+    *,
+    initial_load: int = 0,
+    seed: int | np.random.Generator | None = 0,
+    selector: CandidateSelector | None = None,
+) -> OPGCResult:
+    """Run the OPGC model through a sequence of workload phases.
+
+    Parameters
+    ----------
+    phases:
+        ``(gen_prob, con_prob, steps)`` tuples executed in order.  In
+        each time step processor 0 first attempts generation (prob
+        ``gen_prob``), otherwise consumption (prob ``con_prob``,
+        requires a locally available packet) — the paper's one packet
+        per time step.
+    """
+    if n < 2 or not 1 <= delta < n:
+        raise ValueError(f"need n >= 2, 1 <= delta < n (n={n}, delta={delta})")
+    if f < 1.0:
+        raise ValueError(f"need f >= 1, got {f}")
+    rng = make_rng(seed)
+    sel = selector or GlobalRandomSelector(n)
+
+    loads = np.full(n, initial_load, dtype=np.int64)
+    l_old = int(loads[0])
+    snapshots = [loads.copy()]
+    directions: list[int] = []
+    steps = 0
+
+    def try_balance() -> None:
+        nonlocal l_old
+        cur = int(loads[0])
+        grow = cur >= 1 and cur >= f * l_old and cur > l_old
+        shrink = l_old >= 1 and cur <= l_old / f and cur < l_old
+        if not (grow or shrink):
+            return
+        partners = sel.select(0, delta, rng)
+        parts = np.concatenate(([0], partners))
+        total = int(loads[parts].sum())
+        loads[parts] = even_split(total, delta + 1, start=int(rng.integers(delta + 1)))
+        l_old = int(loads[0])
+        snapshots.append(loads.copy())
+        directions.append(1 if grow else -1)
+
+    for gen_prob, con_prob, phase_steps in phases:
+        for _ in range(phase_steps):
+            steps += 1
+            u = rng.random()
+            if u < gen_prob:
+                loads[0] += 1
+            elif u < gen_prob + con_prob and loads[0] > 0:
+                loads[0] -= 1
+            try_balance()
+
+    return OPGCResult(
+        n=n,
+        delta=delta,
+        f=f,
+        loads_at_ops=np.asarray(snapshots),
+        op_directions=np.asarray(directions, dtype=np.int64),
+        steps=steps,
+    )
+
+
+def opgc_expected_ratio(
+    n: int,
+    delta: int,
+    f: float,
+    phases: Sequence[tuple[float, float, int]],
+    runs: int,
+    *,
+    initial_load: int = 100,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run-averaged producer and non-producer loads per *time step*.
+
+    Unlike :func:`repro.core.opg.opg_expected_ratio` (indexed by
+    balancing op), this samples per global time step so runs with
+    different op counts can be averaged.  Returns ``(E_producer,
+    E_other)`` arrays of length ``total_steps + 1``.
+    """
+    total_steps = sum(p[2] for p in phases)
+    prod = np.zeros(total_steps + 1)
+    oth = np.zeros(total_steps + 1)
+    for r in range(runs):
+        rng = make_rng(seed + 104729 * r)
+        sel = GlobalRandomSelector(n)
+        loads = np.full(n, initial_load, dtype=np.int64)
+        l_old = int(loads[0])
+        idx = 0
+        prod[0] += loads[0]
+        oth[0] += loads[1:].mean()
+        for gen_prob, con_prob, phase_steps in phases:
+            for _ in range(phase_steps):
+                idx += 1
+                u = rng.random()
+                if u < gen_prob:
+                    loads[0] += 1
+                elif u < gen_prob + con_prob and loads[0] > 0:
+                    loads[0] -= 1
+                cur = int(loads[0])
+                grow = cur >= 1 and cur >= f * l_old and cur > l_old
+                shrink = l_old >= 1 and cur <= l_old / f and cur < l_old
+                if grow or shrink:
+                    partners = sel.select(0, delta, rng)
+                    parts = np.concatenate(([0], partners))
+                    total = int(loads[parts].sum())
+                    loads[parts] = even_split(
+                        total, delta + 1, start=int(rng.integers(delta + 1))
+                    )
+                    l_old = int(loads[0])
+                prod[idx] += loads[0]
+                oth[idx] += loads[1:].mean()
+    return prod / runs, oth / runs
+
+
+# ---------------------------------------------------------------------------
+# section-6 decrease simulation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class DecreaseResult:
+    """Outcome of one decrease simulation (section 6)."""
+
+    x: int
+    c: int
+    ops: int
+    steps: int
+    consumed: int
+    producer_trace: np.ndarray  # producer load after each balancing op
+
+
+def simulate_decrease(
+    x: int,
+    c: int,
+    n: int,
+    delta: int,
+    f: float,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    others_at_fix: bool = True,
+    max_ops: int = 100_000,
+) -> DecreaseResult:
+    """Count balancing operations to *simulate a workload decrease of
+    ``c`` packets*: processor 0 consumes own-class packets one per tick;
+    the factor-``f`` decrease trigger fires balancing operations that
+    refill it from partners; we count operations until ``c`` packets
+    have been consumed in total.
+
+    This is the quantity Lemma 5/6 bound ("decrease the number of load
+    units of class i on processor i from x to x - c"): in the ledger of
+    class-``i`` virtual load, ``c`` units are destroyed, while the
+    *resident* count on processor 0 keeps being replenished by the
+    balancing operations — the lemma's geometric-series structure sums
+    the per-cycle consumption ``l * (1 - 1/f)``, confirming this
+    reading.
+
+    Initial state: processor 0 holds ``x``; every other processor holds
+    ``round(x / FIX(n, delta, f))`` (``others_at_fix=True``, the growth
+    steady-state ratio the Lemma-5/6 derivation assumes) or ``x``
+    (balanced) otherwise.
+    """
+    if not (x > 1 and 0 < c < x):
+        raise ValueError(f"need x > 1 and 0 < c < x, got x={x}, c={c}")
+    rng = make_rng(seed)
+    sel = GlobalRandomSelector(n)
+    other0 = round(x / fix(n, delta, f)) if others_at_fix else x
+    loads = np.full(n, other0, dtype=np.int64)
+    loads[0] = x
+    l_old = x
+    ops = 0
+    steps = 0
+    consumed = 0
+    trace = [x]
+
+    while ops < max_ops:
+        steps += 1
+        if loads[0] > 0:
+            loads[0] -= 1
+            consumed += 1
+            if consumed >= c:
+                return DecreaseResult(x, c, ops, steps, consumed, np.asarray(trace))
+        if loads[0] <= l_old / f and loads[0] < l_old:
+            partners = sel.select(0, delta, rng)
+            parts = np.concatenate(([0], partners))
+            total = int(loads[parts].sum())
+            loads[parts] = even_split(
+                total, delta + 1, start=int(rng.integers(delta + 1))
+            )
+            l_old = int(loads[0])
+            ops += 1
+            trace.append(int(loads[0]))
+    raise RuntimeError(
+        f"decrease target not reached within {max_ops} balancing ops "
+        f"(x={x}, c={c}, n={n}, delta={delta}, f={f})"
+    )
+
+
+def expected_decrease_ops(
+    x: int,
+    c: int,
+    n: int,
+    delta: int,
+    f: float,
+    runs: int,
+    *,
+    seed: int = 0,
+    others_at_fix: bool = True,
+) -> float:
+    """Monte-Carlo mean of :func:`simulate_decrease` over ``runs`` runs."""
+    total = 0
+    for r in range(runs):
+        total += simulate_decrease(
+            x, c, n, delta, f, seed=seed + 15485863 * r, others_at_fix=others_at_fix
+        ).ops
+    return total / runs

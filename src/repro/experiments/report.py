@@ -1,0 +1,156 @@
+"""Plain-text reporting: ASCII line charts, tables, CSV export.
+
+The environment is headless (no plotting stack), so figures are
+rendered as ASCII charts plus CSV files containing the exact series —
+the data a plotting tool would consume.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_chart", "ascii_bars", "render_table", "write_csv"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, np.ndarray],
+    *,
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "t",
+) -> str:
+    """Render one or more equally long series as an ASCII line chart.
+
+    Each series gets a marker character; the legend maps markers to
+    names.  Values are linearly binned to the grid; later series
+    overdraw earlier ones in shared cells.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    arrays = {k: np.asarray(v, dtype=float) for k, v in series.items()}
+    length = max(a.shape[0] for a in arrays.values())
+    lo = min(float(np.nanmin(a)) for a in arrays.values())
+    hi = max(float(np.nanmax(a)) for a in arrays.values())
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, arr), marker in zip(arrays.items(), _MARKERS):
+        n = arr.shape[0]
+        for col in range(width):
+            idx = min(int(col * (n - 1) / max(width - 1, 1)), n - 1) if n > 1 else 0
+            val = arr[idx]
+            if np.isnan(val):
+                continue
+            row = int(round((val - lo) / (hi - lo) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row_chars in enumerate(grid):
+        y_val = hi - r * (hi - lo) / (height - 1)
+        prefix = f"{y_val:>10.2f} |" if r % 4 == 0 or r == height - 1 else "           |"
+        lines.append(prefix + "".join(row_chars))
+    lines.append("           +" + "-" * width)
+    lines.append(f"            {x_label}: 0 .. {length - 1}")
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _), marker in zip(arrays.items(), _MARKERS)
+    )
+    lines.append("            " + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    values: np.ndarray,
+    *,
+    lo: np.ndarray | None = None,
+    hi: np.ndarray | None = None,
+    width: int = 50,
+    title: str = "",
+    label: str = "proc",
+) -> str:
+    """Horizontal bar chart of per-item values with optional lo/hi
+    whiskers (the figures 9/10 per-processor distribution view).
+
+    Bars are ``#`` up to ``values[i]``; when ``lo``/``hi`` are given a
+    ``|-- --|`` whisker marks the envelope around each bar.
+    """
+    values = np.asarray(values, dtype=float)
+    n = values.shape[0]
+    top = float(np.nanmax(hi if hi is not None else values))
+    if top <= 0:
+        top = 1.0
+    scale = (width - 1) / top
+
+    def col(x: float) -> int:
+        return max(0, min(width - 1, int(round(x * scale))))
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i in range(n):
+        row = [" "] * width
+        v = col(values[i])
+        for c in range(v + 1):
+            row[c] = "#"
+        if lo is not None and hi is not None:
+            a, b = col(float(lo[i])), col(float(hi[i]))
+            for c in range(a, b + 1):
+                if row[c] == " ":
+                    row[c] = "-"
+            row[a] = "|"
+            row[b] = "|"
+        lines.append(f"{label} {i:>3} |{''.join(row)}| {values[i]:.1f}")
+    lines.append(f"{'':>9} 0{'':>{width - 8}}{top:.1f}")
+    return "\n".join(lines)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, floatfmt: str = ".3f"
+) -> str:
+    """Aligned plain-text table."""
+
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        if v is None:
+            return "-"
+        return str(v)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "  "
+    out = [sep.join(h.ljust(w) for h, w in zip(headers, widths))]
+    out.append(sep.join("-" * w for w in widths))
+    for r in str_rows:
+        out.append(sep.join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def write_csv(
+    path: str | Path, columns: Mapping[str, Sequence[object]]
+) -> Path:
+    """Write named columns to a CSV file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names = list(columns)
+    length = max(len(c) for c in columns.values())
+    with path.open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(names)
+        for i in range(length):
+            w.writerow(
+                [columns[k][i] if i < len(columns[k]) else "" for k in names]
+            )
+    return path

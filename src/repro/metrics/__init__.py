@@ -1,0 +1,36 @@
+"""Measurement: multi-run aggregation, balance statistics, Table-1 data.
+
+* :mod:`repro.metrics.collector` — aggregate per-tick load series over
+  many runs into mean / min-envelope / max-envelope (figures 7-10);
+* :mod:`repro.metrics.stats` — scalar balance measures: imbalance
+  factor, expected-load ratio, empirical variation density;
+* :mod:`repro.metrics.borrow_stats` — aggregate the engine's borrow
+  counters over runs (Table 1).
+"""
+
+from repro.metrics.collector import EnvelopeSeries, MultiRunCollector
+from repro.metrics.stats import (
+    empirical_variation_density,
+    imbalance_factor,
+    load_ratio,
+    spread,
+)
+from repro.metrics.borrow_stats import BorrowTable, aggregate_counters
+from repro.metrics.cost_model import CostBreakdown, price_events
+from repro.metrics.confidence import ConfidenceInterval, bootstrap_ci, compare_means
+
+__all__ = [
+    "CostBreakdown",
+    "price_events",
+    "ConfidenceInterval",
+    "bootstrap_ci",
+    "compare_means",
+    "EnvelopeSeries",
+    "MultiRunCollector",
+    "imbalance_factor",
+    "load_ratio",
+    "spread",
+    "empirical_variation_density",
+    "BorrowTable",
+    "aggregate_counters",
+]

@@ -1,0 +1,70 @@
+"""Table-1 aggregation: borrow statistics over many runs.
+
+Table 1 of the paper reports, for ``f = 1.1``, ``delta = 1`` and the
+section-7 workload on 64 processors over 500 steps, the per-run average
+(over 100 runs) of: initiated borrowings (*total borrow*), exchanges of
+borrowed against real packets with the producer (*remote borrow*),
+initiations of the section-4 debt-reduction dance (*borrow fail*) and
+initiated simulated load decreases (*decrease sim*), for
+``C in {4, 8, 16, 32}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.borrowing import BorrowCounters
+
+__all__ = ["BorrowTable", "aggregate_counters"]
+
+TABLE1_ROWS = ("total_borrow", "remote_borrow", "borrow_fail", "decrease_sim")
+
+
+def aggregate_counters(counters: Iterable[BorrowCounters]) -> dict[str, float]:
+    """Per-run averages of all counters over an iterable of runs."""
+    total = BorrowCounters()
+    runs = 0
+    for c in counters:
+        total.add(c)
+        runs += 1
+    if runs == 0:
+        raise ValueError("no counters to aggregate")
+    return {k: v / runs for k, v in total.as_dict().items()}
+
+
+@dataclass(slots=True)
+class BorrowTable:
+    """Accumulates Table-1 columns: one column per ``C`` value."""
+
+    c_values: Sequence[int]
+    columns: dict[int, dict[str, float]] = field(default_factory=dict)
+
+    def set_column(self, C: int, counters: Iterable[BorrowCounters]) -> None:
+        if C not in self.c_values:
+            raise KeyError(f"C={C} not declared in {self.c_values}")
+        self.columns[C] = aggregate_counters(counters)
+
+    def rows(self) -> list[tuple[str, list[float]]]:
+        """Table-1 layout: (row name, one value per declared C)."""
+        out = []
+        for name in TABLE1_ROWS:
+            out.append(
+                (name, [self.columns[c][name] for c in self.c_values if c in self.columns])
+            )
+        return out
+
+    def render(self) -> str:
+        """ASCII rendering in the paper's layout."""
+        header = " " * 15 + "".join(f"C = {c:<8}" for c in self.c_values)
+        lines = [header]
+        label = {
+            "total_borrow": "total borrow",
+            "remote_borrow": "remote borrow",
+            "borrow_fail": "borrow fail",
+            "decrease_sim": "decrease sim",
+        }
+        for name, values in self.rows():
+            cells = "".join(f"{v:<12.3f}" for v in values)
+            lines.append(f"{label[name]:<15}{cells}")
+        return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Multi-run load-series aggregation (the figures 7-10 measurements).
+
+The paper runs every experiment 100 times and reports, per tick, the
+*average* load of a processor together with the *minimal and maximal
+load of a processor which ever occurred during these 100 runs* — i.e.
+envelopes over both runs and processors.  :class:`MultiRunCollector`
+reproduces exactly that reduction without keeping all runs in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EnvelopeSeries", "MultiRunCollector"]
+
+
+@dataclass(frozen=True, slots=True)
+class EnvelopeSeries:
+    """Per-tick mean load plus min/max envelopes over runs×processors.
+
+    ``mean_spread`` is the per-tick *within-run* spread ``max_proc -
+    min_proc`` averaged over runs — the balance-quality signal proper.
+    The min/max envelopes additionally absorb run-to-run workload
+    variance (each run draws its own random phase layout), so they are
+    the right thing to *plot* (the paper plots exactly them) but the
+    wrong thing to *compare configurations by*.
+    """
+
+    mean: np.ndarray
+    min: np.ndarray
+    max: np.ndarray
+    mean_spread: np.ndarray
+    runs: int
+
+    @property
+    def steps(self) -> int:
+        return self.mean.shape[0] - 1
+
+    def as_columns(self) -> dict[str, np.ndarray]:
+        return {
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "mean_spread": self.mean_spread,
+        }
+
+    def relative_spread(self, floor: float = 1.0) -> np.ndarray:
+        """``mean_spread / max(mean, floor)`` per tick."""
+        return self.mean_spread / np.maximum(self.mean, floor)
+
+
+class MultiRunCollector:
+    """Streaming mean/min/max over runs of ``(steps+1, n)`` load arrays.
+
+    Also keeps per-processor statistics at selected snapshot ticks for
+    the figure-9/10 distribution plots.
+    """
+
+    def __init__(self, snapshot_ticks: tuple[int, ...] = ()) -> None:
+        self.snapshot_ticks = tuple(snapshot_ticks)
+        self._sum: np.ndarray | None = None
+        self._min: np.ndarray | None = None
+        self._max: np.ndarray | None = None
+        self._spread_sum: np.ndarray | None = None
+        self._snap_sum: dict[int, np.ndarray] = {}
+        self._snap_min: dict[int, np.ndarray] = {}
+        self._snap_max: dict[int, np.ndarray] = {}
+        self.runs = 0
+
+    def add(self, loads: np.ndarray) -> None:
+        """Fold in one run's ``(steps+1, n)`` load history."""
+        loads = np.asarray(loads)
+        if loads.ndim != 2:
+            raise ValueError(f"loads must be 2-D, got shape {loads.shape}")
+        per_tick_mean = loads.mean(axis=1)
+        per_tick_min = loads.min(axis=1)
+        per_tick_max = loads.max(axis=1)
+        per_tick_spread = (per_tick_max - per_tick_min).astype(float)
+        if self._sum is None:
+            self._sum = per_tick_mean.astype(float)
+            self._min = per_tick_min.astype(np.int64)
+            self._max = per_tick_max.astype(np.int64)
+            self._spread_sum = per_tick_spread
+        else:
+            if self._sum.shape != per_tick_mean.shape:
+                raise ValueError("run length mismatch across runs")
+            self._sum += per_tick_mean
+            np.minimum(self._min, per_tick_min, out=self._min)
+            np.maximum(self._max, per_tick_max, out=self._max)
+            assert self._spread_sum is not None
+            self._spread_sum += per_tick_spread
+        for tick in self.snapshot_ticks:
+            row = loads[tick].astype(np.int64)
+            if tick not in self._snap_sum:
+                self._snap_sum[tick] = row.astype(float)
+                self._snap_min[tick] = row.copy()
+                self._snap_max[tick] = row.copy()
+            else:
+                self._snap_sum[tick] += row
+                np.minimum(self._snap_min[tick], row, out=self._snap_min[tick])
+                np.maximum(self._snap_max[tick], row, out=self._snap_max[tick])
+        self.runs += 1
+
+    def envelope(self) -> EnvelopeSeries:
+        """The figure-7/8 reduction over all runs added so far."""
+        if self._sum is None or self.runs == 0:
+            raise RuntimeError("no runs added")
+        assert (
+            self._min is not None
+            and self._max is not None
+            and self._spread_sum is not None
+        )
+        return EnvelopeSeries(
+            mean=self._sum / self.runs,
+            min=self._min.copy(),
+            max=self._max.copy(),
+            mean_spread=self._spread_sum / self.runs,
+            runs=self.runs,
+        )
+
+    def snapshot(self, tick: int) -> dict[str, np.ndarray]:
+        """Per-processor mean/min/max at a snapshot tick (figures 9/10)."""
+        if tick not in self._snap_sum:
+            raise KeyError(f"tick {tick} was not registered as a snapshot")
+        return {
+            "mean": self._snap_sum[tick] / self.runs,
+            "min": self._snap_min[tick].copy(),
+            "max": self._snap_max[tick].copy(),
+        }

@@ -1,0 +1,52 @@
+"""Scalar balance statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "imbalance_factor",
+    "load_ratio",
+    "spread",
+    "empirical_variation_density",
+]
+
+
+def imbalance_factor(loads: np.ndarray, eps: float = 1.0) -> float:
+    """``(max + eps) / (mean + eps)`` of a load vector.
+
+    1.0 = perfectly balanced; the Theorem-4 bound predicts an upper
+    limit of roughly ``f^2 * delta/(delta+1-f)`` (plus the ``C`` slack)
+    for the paper's algorithm.
+    """
+    loads = np.asarray(loads, dtype=float)
+    return float((loads.max() + eps) / (loads.mean() + eps))
+
+
+def load_ratio(loads: np.ndarray, i: int, j: int, eps: float = 1e-9) -> float:
+    """Ratio ``loads[i] / loads[j]`` with zero-guard."""
+    loads = np.asarray(loads, dtype=float)
+    return float((loads[i] + eps) / (loads[j] + eps))
+
+
+def spread(loads: np.ndarray) -> int:
+    """``max - min`` of an integer load vector."""
+    loads = np.asarray(loads)
+    return int(loads.max() - loads.min())
+
+
+def empirical_variation_density(samples: np.ndarray) -> float:
+    """``sqrt(E[x^2] - E[x]^2) / E[x]`` over a sample vector.
+
+    This is the estimator matched against
+    :func:`repro.theory.variation.mc_variation_density`; ``samples``
+    are i.i.d. observations of one processor's load at a fixed time
+    (e.g. across runs).  Returns 0 for a zero-mean sample.
+    """
+    samples = np.asarray(samples, dtype=float)
+    mean = samples.mean()
+    if mean == 0:
+        return 0.0
+    second = (samples * samples).mean()
+    var = max(second - mean * mean, 0.0)
+    return float(np.sqrt(var) / mean)

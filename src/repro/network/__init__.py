@@ -1,0 +1,38 @@
+"""Interconnection topologies.
+
+The analysed algorithm is topology-agnostic: candidates are drawn from
+the whole machine and a balancing operation costs O(1) regardless of
+distance (section 2's wormhole-routing argument).  Topologies matter
+for two things in this repo:
+
+* the A2 ablation — restricting candidates to topological
+  neighbourhoods (the paper's "further research" direction) via
+  :class:`repro.core.selection.NeighborhoodSelector`;
+* cost accounting — measuring the *hop-weighted* migration volume the
+  constant-cost model abstracts away.
+
+All graphs are built from scratch (no networkx dependency in library
+code); each provides adjacency lists, hop distances and standard
+invariants (regularity, diameter).
+"""
+
+from repro.network.topology import Topology
+from repro.network.complete import CompleteGraph
+from repro.network.ring import Ring
+from repro.network.torus import Torus2D
+from repro.network.hypercube import Hypercube
+from repro.network.debruijn import DeBruijn
+from repro.network.random_regular import RandomRegular
+from repro.network.mesh import Mesh2D, Star
+
+__all__ = [
+    "Topology",
+    "CompleteGraph",
+    "Ring",
+    "Torus2D",
+    "Hypercube",
+    "DeBruijn",
+    "RandomRegular",
+    "Mesh2D",
+    "Star",
+]

@@ -1,0 +1,15 @@
+"""Complete graph: every pair connected (the analysed global model)."""
+
+from __future__ import annotations
+
+from repro.network.topology import Topology
+
+__all__ = ["CompleteGraph"]
+
+
+class CompleteGraph(Topology):
+    """``K_n`` — neighbourhood selection on it equals the paper's
+    global random selection."""
+
+    def _build(self) -> None:
+        self._set_edges({(u, v) for u in range(self.n) for v in range(u + 1, self.n)})

@@ -1,0 +1,32 @@
+"""De Bruijn network — constant degree, logarithmic diameter.
+
+The binary de Bruijn graph ``DB(2, m)`` on ``n = 2^m`` nodes connects
+``u`` to ``(2u) mod n`` and ``(2u + 1) mod n`` (shift-in-0 / shift-in-1).
+We use the undirected version (shuffle-exchange family), a popular
+bounded-degree alternative to the hypercube in the early-90s
+interconnection literature the paper cites.
+"""
+
+from __future__ import annotations
+
+from repro.network.topology import Topology
+
+__all__ = ["DeBruijn"]
+
+
+class DeBruijn(Topology):
+    """Undirected binary de Bruijn graph on ``2^m`` nodes."""
+
+    def __init__(self, m: int) -> None:
+        if m < 1:
+            raise ValueError(f"need m >= 1, got {m}")
+        self.m = m
+        super().__init__(1 << m)
+
+    def _build(self) -> None:
+        edges = set()
+        for u in range(self.n):
+            for v in ((2 * u) % self.n, (2 * u + 1) % self.n):
+                if u != v:
+                    edges.add((min(u, v), max(u, v)))
+        self._set_edges(edges)

@@ -1,0 +1,25 @@
+"""Hypercube topology — ``n = 2^dim``, degree ``dim``, diameter ``dim``."""
+
+from __future__ import annotations
+
+from repro.network.topology import Topology
+
+__all__ = ["Hypercube"]
+
+
+class Hypercube(Topology):
+    """``dim``-dimensional binary hypercube on ``2^dim`` nodes."""
+
+    def __init__(self, dim: int) -> None:
+        if dim < 1:
+            raise ValueError(f"need dim >= 1, got {dim}")
+        self.dim = dim
+        super().__init__(1 << dim)
+
+    def _build(self) -> None:
+        edges = set()
+        for u in range(self.n):
+            for bit in range(self.dim):
+                v = u ^ (1 << bit)
+                edges.add((min(u, v), max(u, v)))
+        self._set_edges(edges)

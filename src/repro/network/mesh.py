@@ -1,0 +1,43 @@
+"""2-D mesh (grid without wrap-around) and star topologies.
+
+The mesh is the torus minus its wrap edges — corner/edge processors
+have smaller neighbourhoods, making it the simplest *irregular* network
+in the suite (exercises the non-regular code paths).  The star is the
+pathological centralised topology: every locality-restricted strategy
+on it degenerates to funnelling through the hub.
+"""
+
+from __future__ import annotations
+
+from repro.network.topology import Topology
+
+__all__ = ["Mesh2D", "Star"]
+
+
+class Mesh2D(Topology):
+    """``rows x cols`` grid, no wrap-around; irregular degrees 2-4."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1 or rows * cols < 2:
+            raise ValueError(f"need a grid of >= 2 nodes, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        super().__init__(rows * cols)
+
+    def _build(self) -> None:
+        edges = set()
+        for r in range(self.rows):
+            for c in range(self.cols):
+                u = r * self.cols + c
+                if r + 1 < self.rows:
+                    edges.add((u, u + self.cols))
+                if c + 1 < self.cols:
+                    edges.add((u, u + 1))
+        self._set_edges(edges)
+
+
+class Star(Topology):
+    """Hub-and-spoke: node 0 connects to everyone else."""
+
+    def _build(self) -> None:
+        self._set_edges({(0, v) for v in range(1, self.n)})

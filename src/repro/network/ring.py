@@ -1,0 +1,20 @@
+"""Ring (cycle) topology — the sparsest regular connected network."""
+
+from __future__ import annotations
+
+from repro.network.topology import Topology
+
+__all__ = ["Ring"]
+
+
+class Ring(Topology):
+    """Cycle ``C_n``; degree 2, diameter ``n // 2``."""
+
+    def _build(self) -> None:
+        if self.n == 2:
+            self._set_edges({(0, 1)})
+            return
+        self._set_edges(
+            {(i, (i + 1) % self.n) if i < (i + 1) % self.n else ((i + 1) % self.n, i)
+             for i in range(self.n)}
+        )

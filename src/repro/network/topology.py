@@ -1,0 +1,118 @@
+"""Topology base class: adjacency, BFS distances, candidate pools."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """An undirected interconnection network on ``n`` processors.
+
+    Subclasses populate ``self._adj`` (list of sorted neighbour arrays)
+    via :meth:`_build`; everything else (distances, diameter, pools) is
+    generic.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ValueError(f"need n >= 2, got {n}")
+        self.n = n
+        self._adj: list[np.ndarray] = [np.empty(0, dtype=np.int64) for _ in range(n)]
+        self._dist: np.ndarray | None = None
+        self._build()
+        self._validate()
+
+    # -- to be provided by subclasses ------------------------------------
+
+    def _build(self) -> None:
+        raise NotImplementedError
+
+    # -- construction helpers ---------------------------------------------
+
+    def _set_edges(self, edges: set[tuple[int, int]]) -> None:
+        """Install an undirected edge set (u < v pairs)."""
+        nbrs: list[set[int]] = [set() for _ in range(self.n)]
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop at {u}")
+            if not (0 <= u < self.n and 0 <= v < self.n):
+                raise ValueError(f"edge ({u},{v}) out of range")
+            nbrs[u].add(v)
+            nbrs[v].add(u)
+        self._adj = [np.array(sorted(s), dtype=np.int64) for s in nbrs]
+
+    def _validate(self) -> None:
+        for i, nb in enumerate(self._adj):
+            if nb.size == 0:
+                raise ValueError(f"processor {i} is isolated")
+
+    # -- queries -------------------------------------------------------------
+
+    def neighbors(self, i: int) -> np.ndarray:
+        """Sorted neighbour ids of processor ``i``."""
+        return self._adj[i]
+
+    def degree(self, i: int) -> int:
+        return int(self._adj[i].size)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return np.array([self.degree(i) for i in range(self.n)], dtype=np.int64)
+
+    def is_regular(self) -> bool:
+        d = self.degrees
+        return bool((d == d[0]).all())
+
+    def edge_count(self) -> int:
+        return int(self.degrees.sum() // 2)
+
+    def distances(self) -> np.ndarray:
+        """All-pairs hop distances (BFS from every node, cached)."""
+        if self._dist is None:
+            dist = np.full((self.n, self.n), -1, dtype=np.int64)
+            for s in range(self.n):
+                dist[s, s] = 0
+                q = deque([s])
+                while q:
+                    u = q.popleft()
+                    for v in self._adj[u]:
+                        if dist[s, v] < 0:
+                            dist[s, v] = dist[s, u] + 1
+                            q.append(int(v))
+            if (dist < 0).any():
+                raise ValueError("topology is disconnected")
+            self._dist = dist
+        return self._dist
+
+    def diameter(self) -> int:
+        return int(self.distances().max())
+
+    def is_connected(self) -> bool:
+        try:
+            self.distances()
+            return True
+        except ValueError:
+            return False
+
+    # -- candidate pools (for NeighborhoodSelector) ---------------------------
+
+    def neighborhood_pools(self, radius: int = 1) -> list[np.ndarray]:
+        """Per-processor pools: all nodes within ``radius`` hops
+        (excluding the node itself)."""
+        if radius < 1:
+            raise ValueError("radius must be >= 1")
+        if radius == 1:
+            return [nb.copy() for nb in self._adj]
+        dist = self.distances()
+        return [
+            np.nonzero((dist[i] > 0) & (dist[i] <= radius))[0].astype(np.int64)
+            for i in range(self.n)
+        ]
+
+    def hop_cost(self, i: int, j: int) -> int:
+        """Hop distance between two processors (migration cost model)."""
+        return int(self.distances()[i, j])

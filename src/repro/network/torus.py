@@ -1,0 +1,41 @@
+"""2-D torus (wrap-around mesh) — the transputer-grid topology of the
+paper's era (e.g. the Paderborn machines the authors used)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.network.topology import Topology
+
+__all__ = ["Torus2D"]
+
+
+class Torus2D(Topology):
+    """``rows x cols`` torus; if only ``n`` is given it must be a
+    perfect square."""
+
+    def __init__(self, n: int | None = None, rows: int | None = None, cols: int | None = None) -> None:
+        if rows is None or cols is None:
+            if n is None:
+                raise ValueError("give n (perfect square) or rows and cols")
+            side = math.isqrt(n)
+            if side * side != n:
+                raise ValueError(f"n={n} is not a perfect square; give rows/cols")
+            rows = cols = side
+        self.rows = rows
+        self.cols = cols
+        super().__init__(rows * cols)
+
+    def _build(self) -> None:
+        edges: set[tuple[int, int]] = set()
+
+        def node(r: int, c: int) -> int:
+            return (r % self.rows) * self.cols + (c % self.cols)
+
+        for r in range(self.rows):
+            for c in range(self.cols):
+                u = node(r, c)
+                for v in (node(r + 1, c), node(r, c + 1)):
+                    if u != v:
+                        edges.add((min(u, v), max(u, v)))
+        self._set_edges(edges)

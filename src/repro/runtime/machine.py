@@ -1,0 +1,189 @@
+"""TaskMachine: real task objects on the simulated balanced machine.
+
+The machine holds one task deque per processor.  Per tick, each
+processor decides its action from local state only (fully distributed):
+
+* if it owes pending child tasks (spawned by an earlier execution), it
+  *generates* — pushing one pending task into its deque (the engine's
+  one-packet-per-tick model);
+* else if its deque is non-empty, it *consumes* — popping one task and
+  executing it via the application callback, which may spawn children
+  (queued as pending) and may report results;
+* else it idles (and the balancer will, in time, ship it work).
+
+The balancer's inline hooks keep the deques in lock-step with its load
+vector; migrations move the concrete task objects (FIFO from the
+sender — oldest work travels, the common heuristic since old subtrees
+tend to be large).
+
+Everything is deterministic given the seed, and the *result* of the
+computation (optimal tour, solution count, ...) is independent of all
+balancing randomness — the correctness property the tests pin down.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Generic, Iterable, Protocol, TypeVar
+
+import numpy as np
+
+from repro.params import LBParams
+from repro.rng import RngFactory
+from repro.runtime.practical import BalancerHooks, PracticalBalancer
+
+T = TypeVar("T")
+
+__all__ = ["TaskApp", "TaskMachine", "MachineResult"]
+
+
+class TaskApp(Protocol[T]):
+    """Application driving a :class:`TaskMachine`.
+
+    ``initial_tasks`` seeds the computation; ``execute`` processes one
+    task and returns the child tasks it spawns (empty when the task is
+    a leaf or pruned).  Applications keep their own result state
+    (incumbent bound, solution counter, ...).
+    """
+
+    def initial_tasks(self) -> Iterable[T]: ...
+
+    def execute(self, task: T) -> Iterable[T]: ...
+
+
+@dataclass(frozen=True, slots=True)
+class MachineResult:
+    """Execution record of one distributed run."""
+
+    ticks: int
+    executed: int
+    spawned: int
+    loads: np.ndarray          # (ticks + 1, n)
+    total_ops: int
+    packets_migrated: int
+    idle_processor_ticks: int
+
+    @property
+    def n(self) -> int:
+        return self.loads.shape[1]
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Executed tasks per processor-tick: 1.0 = perfectly busy."""
+        total = self.ticks * self.n
+        return self.executed / total if total else 0.0
+
+
+class _DequeHooks(BalancerHooks):
+    """Keeps per-processor deques in lock-step with the balancer."""
+
+    def __init__(self, machine: "TaskMachine") -> None:
+        self.m = machine
+
+    def on_generate(self, i: int) -> None:
+        task = self.m.pending[i].popleft()
+        self.m.queues[i].append(task)
+
+    def on_consume(self, i: int) -> None:
+        task = self.m.queues[i].popleft()
+        children = list(self.m.app.execute(task))
+        self.m.executed += 1
+        if children:
+            self.m.pending[i].extend(children)
+            self.m.spawned += len(children)
+
+    def on_transfer(self, src: int, dst: int, amount: int) -> None:
+        q_src = self.m.queues[src]
+        q_dst = self.m.queues[dst]
+        for _ in range(amount):
+            q_dst.append(q_src.popleft())
+
+
+class TaskMachine(Generic[T]):
+    """n simulated processors executing an application's task graph."""
+
+    def __init__(
+        self,
+        n: int,
+        params: LBParams,
+        app: TaskApp[T],
+        *,
+        seed: int = 0,
+        check_lockstep: bool = False,
+    ) -> None:
+        self.n = n
+        self.app = app
+        self.check_lockstep = check_lockstep
+        factory = RngFactory(seed)
+        self.balancer = PracticalBalancer(
+            n, params, rng=factory.named("balancer"), hooks=_DequeHooks(self)
+        )
+        self.queues: list[deque[T]] = [deque() for _ in range(n)]
+        self.pending: list[deque[T]] = [deque() for _ in range(n)]
+        self.executed = 0
+        self.spawned = 0
+        seeds = list(app.initial_tasks())
+        self.pending[0].extend(seeds)
+        self.spawned += len(seeds)
+
+    # -- driving -----------------------------------------------------------
+
+    def _actions(self) -> np.ndarray:
+        out = np.zeros(self.n, dtype=np.int64)
+        for i in range(self.n):
+            if self.pending[i]:
+                out[i] = 1
+            elif self.queues[i]:
+                out[i] = -1
+        return out
+
+    def tick(self) -> np.ndarray:
+        """One global step; returns the action vector used."""
+        actions = self._actions()
+        self.balancer.step(actions)
+        if self.check_lockstep:
+            self.assert_lockstep()
+        return actions
+
+    def run(self, max_ticks: int = 1_000_000) -> MachineResult:
+        """Run until the task pool drains (or ``max_ticks``)."""
+        loads = [self.balancer.loads_snapshot()]
+        idle = 0
+        ticks = 0
+        while ticks < max_ticks and not self.finished:
+            actions = self.tick()
+            ticks += 1
+            idle += int((actions == 0).sum())
+            loads.append(self.balancer.loads_snapshot())
+        if not self.finished:
+            raise RuntimeError(
+                f"task pool not drained after {max_ticks} ticks "
+                f"(remaining: {sum(map(len, self.queues))} queued, "
+                f"{sum(map(len, self.pending))} pending)"
+            )
+        return MachineResult(
+            ticks=ticks,
+            executed=self.executed,
+            spawned=self.spawned,
+            loads=np.asarray(loads),
+            total_ops=self.balancer.total_ops,
+            packets_migrated=self.balancer.packets_migrated,
+            idle_processor_ticks=idle,
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return all(not q for q in self.queues) and all(
+            not p for p in self.pending
+        )
+
+    def assert_lockstep(self) -> None:
+        """Deque lengths must equal the balancer's load vector."""
+        lengths = np.array([len(q) for q in self.queues], dtype=np.int64)
+        if not np.array_equal(lengths, self.balancer.l):
+            raise AssertionError(
+                f"queues out of lock-step: {lengths} vs {self.balancer.l}"
+            )

@@ -1,0 +1,147 @@
+"""The practical balancer: synchronous, host-callback driven.
+
+The analysed engine (:mod:`repro.core.engine`) needs virtual load
+classes and debts to make the proof compositional; the deployed
+algorithm of [7, 8] watches the *total* local load and ships whatever
+packets the balancing operation says to ship.  This class implements
+that variant against the standard ``Balancer`` protocol, and — the part
+the task runtime needs — reports every load-changing micro-event to a
+:class:`BalancerHooks` object *inline, in execution order*:
+
+``on_generate(i)`` / ``on_consume(i)`` / ``on_starved(i)`` /
+``on_transfer(src, dst, amount)``.
+
+Inline ordering matters: within one tick a processor may consume, then
+a balancing operation triggered elsewhere may ship packets away; a host
+that replays the events in any other order can transiently underflow
+its queues.  With inline callbacks the host's per-processor task queues
+stay in lock-step with the balancer's load vector (the
+:class:`~repro.runtime.machine.TaskMachine` asserts exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.balance import even_split
+from repro.core.selection import CandidateSelector, GlobalRandomSelector
+from repro.core.triggers import FactorTrigger, TriggerDecision
+from repro.params import LBParams
+from repro.rng import make_rng
+
+__all__ = ["Transfer", "BalancerHooks", "PracticalBalancer"]
+
+
+@dataclass(frozen=True, slots=True)
+class Transfer:
+    """``amount`` packets moved ``src -> dst`` by a balancing op."""
+
+    src: int
+    dst: int
+    amount: int
+
+
+class BalancerHooks:
+    """No-op hook base; hosts override what they need."""
+
+    def on_generate(self, i: int) -> None: ...
+
+    def on_consume(self, i: int) -> None: ...
+
+    def on_starved(self, i: int) -> None: ...
+
+    def on_transfer(self, src: int, dst: int, amount: int) -> None: ...
+
+
+class PracticalBalancer:
+    """Total-load factor-trigger balancing with inline event hooks.
+
+    Protocol-compatible with :class:`repro.simulation.driver.Simulation`
+    (``step`` / ``loads_snapshot``); ``last_transfers`` additionally
+    collects the tick's transfer list for offline analyses.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        params: LBParams,
+        *,
+        rng: int | np.random.Generator | None = 0,
+        selector: CandidateSelector | None = None,
+        hooks: BalancerHooks | None = None,
+    ) -> None:
+        params.validate_for_network(n)
+        self.n = n
+        self.params = params
+        self.rng = make_rng(rng)
+        self.selector = selector or GlobalRandomSelector(n)
+        self.trigger = FactorTrigger(params.f)
+        self.hooks = hooks or BalancerHooks()
+        self.l = np.zeros(n, dtype=np.int64)
+        self.l_old = np.zeros(n, dtype=np.int64)
+        self.total_ops = 0
+        self.packets_migrated = 0
+        self.starved = 0
+        self.last_transfers: list[Transfer] = []
+
+    def step(self, actions: np.ndarray) -> None:
+        """One tick: apply actions and service triggers, inline."""
+        actions = np.asarray(actions)
+        if actions.shape != (self.n,):
+            raise ValueError(
+                f"actions must have shape ({self.n},), got {actions.shape}"
+            )
+        self.last_transfers = []
+        for i in self.rng.permutation(self.n):
+            a = int(actions[i])
+            if a == 1:
+                self.l[i] += 1
+                self.hooks.on_generate(int(i))
+            elif a == -1:
+                if self.l[i] > 0:
+                    self.l[i] -= 1
+                    self.hooks.on_consume(int(i))
+                else:
+                    self.starved += 1
+                    self.hooks.on_starved(int(i))
+            elif a != 0:
+                raise ValueError(f"invalid action {a}")
+            self._maybe_balance(int(i))
+
+    def _maybe_balance(self, i: int) -> None:
+        decision = self.trigger.check(int(self.l[i]), int(self.l_old[i]))
+        if decision is TriggerDecision.NONE:
+            return
+        partners = self.selector.select(i, self.params.delta, self.rng)
+        parts = np.concatenate(([i], partners))
+        before = self.l[parts].copy()
+        total = int(before.sum())
+        after = even_split(
+            total, len(parts), start=int(self.rng.integers(len(parts)))
+        )
+        self.l[parts] = after
+        self.l_old[parts] = after
+        self.total_ops += 1
+        # greedy minimal transfer set (same construction as
+        # BalanceEvent.transfers), emitted inline
+        deltas = after - before
+        senders = [[int(p), int(-d)] for p, d in zip(parts, deltas) if d < 0]
+        si = 0
+        for p, d in zip(parts, deltas):
+            need = int(d)
+            while need > 0:
+                src, have = senders[si]
+                take = min(have, need)
+                tr = Transfer(src, int(p), take)
+                self.last_transfers.append(tr)
+                self.packets_migrated += take
+                self.hooks.on_transfer(src, int(p), take)
+                need -= take
+                senders[si][1] = have - take
+                if senders[si][1] == 0:
+                    si += 1
+
+    def loads_snapshot(self) -> np.ndarray:
+        return self.l.copy()

@@ -1,0 +1,60 @@
+"""Deterministic discrete-event queue.
+
+A thin, fully deterministic wrapper over ``heapq``: events at equal
+times pop in insertion order (a monotone sequence number breaks ties),
+so simulations are reproducible regardless of float-time collisions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Generic, Iterator, TypeVar
+
+P = TypeVar("P")
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Event(Generic[P]):
+    """One scheduled event; ordering is (time, seq)."""
+
+    time: float
+    seq: int
+    payload: P = field(compare=False)
+
+
+class EventQueue(Generic[P]):
+    """Min-heap of :class:`Event` with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event[P]] = []
+        self._seq = 0
+
+    def push(self, time: float, payload: P) -> Event[P]:
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        ev = Event(time=time, seq=self._seq, payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event[P]:
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float | None:
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain_until(self, horizon: float) -> Iterator[Event[P]]:
+        """Pop events with ``time <= horizon`` in order."""
+        while self._heap and self._heap[0].time <= horizon:
+            yield heapq.heappop(self._heap)

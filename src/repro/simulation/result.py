@@ -1,0 +1,74 @@
+"""Result containers for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.borrowing import BorrowCounters
+
+__all__ = ["RunResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class RunResult:
+    """Outcome of one simulation run.
+
+    Attributes
+    ----------
+    loads:
+        ``(steps + 1, n)`` real load per processor after each global
+        tick (row 0 = initial state).
+    counters:
+        The engine's borrow/auxiliary counters (Table 1 inputs).
+    total_ops:
+        Number of balancing operations performed.
+    packets_migrated:
+        Real packets that changed processor during balancing/exchange.
+    meta:
+        Free-form provenance (parameters, seed, workload name, ...).
+    """
+
+    loads: np.ndarray
+    counters: BorrowCounters
+    total_ops: int
+    packets_migrated: int
+    meta: Mapping[str, Any]
+
+    @property
+    def n(self) -> int:
+        return self.loads.shape[1]
+
+    @property
+    def steps(self) -> int:
+        return self.loads.shape[0] - 1
+
+    @property
+    def mean_load(self) -> np.ndarray:
+        """Per-tick mean load over processors."""
+        return self.loads.mean(axis=1)
+
+    @property
+    def min_load(self) -> np.ndarray:
+        """Per-tick minimum load over processors."""
+        return self.loads.min(axis=1)
+
+    @property
+    def max_load(self) -> np.ndarray:
+        """Per-tick maximum load over processors."""
+        return self.loads.max(axis=1)
+
+    def imbalance(self, eps: float = 1.0) -> np.ndarray:
+        """Per-tick imbalance factor ``(max + eps) / (mean + eps)``.
+
+        The ``eps`` smoothing keeps the measure finite in the empty
+        system (mean 0) while converging to the plain max/mean ratio
+        for loaded systems.
+        """
+        return (self.max_load + eps) / (self.mean_load + eps)
+
+    def final_spread(self) -> int:
+        """``max - min`` load at the final tick."""
+        return int(self.loads[-1].max() - self.loads[-1].min())

@@ -1,0 +1,79 @@
+"""Analytical machinery of the paper.
+
+This subpackage implements, symbol for symbol, the quantities the paper
+analyses:
+
+* :mod:`repro.theory.operators` — the growth operator ``G`` and the
+  consumption operator ``C`` acting on expected-load ratios (section 3).
+* :mod:`repro.theory.fixpoint` — ``A``, ``FIX(n, delta, f)``, its
+  ``n -> inf`` limit ``delta/(delta+1-f)`` and contraction properties
+  (Lemmas 1-3, Theorems 1-2).
+* :mod:`repro.theory.bounds` — the two-sided Theorem 3 bound, the
+  Theorem 4 full-model bound, and the Lemma 5/6 cost bounds with their
+  contraction factors ``U``, ``D`` and ``D_i`` (section 6).
+* :mod:`repro.theory.counting` — the computation-graph counting
+  quantities ``n(t, u)`` and ``n(t, u, i)`` of section 5.
+* :mod:`repro.theory.variation` — the variation density of section 5:
+  exact computation by enumeration over computation graphs (small ``t``)
+  and a vectorised Monte-Carlo estimator at Figure-6 scale, for the
+  plain (``delta = 1``) and relaxed (``delta > 1``) algorithms.
+"""
+
+from repro.theory.operators import GrowthOperator, consume_operator, growth_operator
+from repro.theory.fixpoint import (
+    A_const,
+    contraction_modulus,
+    fix,
+    fix_limit,
+    iterate_G,
+    iterate_to_convergence,
+)
+from repro.theory.bounds import (
+    CostBounds,
+    decrease_steps_expected,
+    lemma5_lower,
+    lemma5_upper,
+    lemma6_upper,
+    theorem3_bounds,
+    theorem4_bound,
+    U_factor,
+    D_factor,
+)
+from repro.theory.counting import n_computations, n_computations_bow
+from repro.theory.variation import (
+    VariationResult,
+    exact_variation_density,
+    mc_variation_density,
+)
+from repro.theory.moments import MomentState, exact_moments
+from repro.theory.per_u import PerUDecomposition, per_u_moments
+
+__all__ = [
+    "GrowthOperator",
+    "growth_operator",
+    "consume_operator",
+    "A_const",
+    "fix",
+    "fix_limit",
+    "iterate_G",
+    "iterate_to_convergence",
+    "contraction_modulus",
+    "theorem3_bounds",
+    "theorem4_bound",
+    "CostBounds",
+    "U_factor",
+    "D_factor",
+    "lemma5_lower",
+    "lemma5_upper",
+    "lemma6_upper",
+    "decrease_steps_expected",
+    "n_computations",
+    "n_computations_bow",
+    "VariationResult",
+    "exact_variation_density",
+    "mc_variation_density",
+    "MomentState",
+    "exact_moments",
+    "PerUDecomposition",
+    "per_u_moments",
+]

@@ -1,0 +1,255 @@
+"""Closed-form bounds: Theorems 3-4 and the cost analysis of section 6.
+
+Theorem 3 (one-processor-producer-consumer model)
+    ``FIX(n, delta, 1/f) <= E(l_1)/E(l_i) <= FIX(n, delta, f)`` after any
+    number of balancing initiations, and independently of the network
+    size ``delta/(delta+1-1/f) <= ratio <= delta/(delta+1-f)``.
+
+Theorem 4 (full n-processor model)
+    ``E(l_i) <= f^2 * G^{t'}(1) * (E(l_j) + C)`` for any two processors,
+    and in the limit ``E(l_i) <= f^2 * delta/(delta+1-f) * (E(l_j)+C)``.
+
+Section 6 (costs of simulating a workload decrease)
+    A decrease-balancing cycle multiplies the initiator's own-class load
+    by a factor between
+
+        ``D = (1/(f(delta+1))) (1 + delta f / FIX(n, delta, f))``  and
+        ``U = (1/(f(delta+1))) (1 + delta f / FIX(n, delta, 1/f))``
+
+    (derivation: after the factor-``1/f`` decrease the initiator holds
+    ``l/f``; each of the ``delta`` candidates holds ``l/k`` in
+    expectation where ``k`` is the current expected-load ratio, which
+    Theorem 3 pins between ``FIX(n,delta,1/f)`` and ``FIX(n,delta,f)``;
+    equalising gives ``l * (1/f + delta/k) / (delta+1) = l * factor``).
+    Inverting the resulting geometric sums yields the Lemma 5 bounds on
+    the number ``t`` of balancing operations needed to move the
+    own-class load from ``x`` down to ``x - c``, and tracking the ratio
+    ``k`` through the consumption operator ``C`` between operations
+    yields the sharper Lemma 6 bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.theory.fixpoint import fix, fix_limit, iterate_G
+from repro.theory.operators import GrowthOperator
+
+__all__ = [
+    "theorem3_bounds",
+    "theorem4_bound",
+    "U_factor",
+    "D_factor",
+    "lemma5_lower",
+    "lemma5_upper",
+    "lemma6_upper",
+    "decrease_steps_expected",
+    "CostBounds",
+]
+
+
+def theorem3_bounds(
+    n: int | None, delta: int, f: float
+) -> tuple[float, float]:
+    """The two-sided Theorem 3 bound on ``E(l_1)/E(l_i)``.
+
+    Pass ``n=None`` for the network-size-independent version
+    ``(delta/(delta+1-1/f), delta/(delta+1-f))``.
+    """
+    _check_domain(delta, f)
+    if n is None:
+        return fix_limit(delta, 1.0 / f), fix_limit(delta, f)
+    return fix(n, delta, 1.0 / f), fix(n, delta, f)
+
+
+def theorem4_bound(
+    n: int | None, delta: int, f: float, t: int | None = None
+) -> float:
+    """The Theorem 4 multiplicative bound ``f^2 * G^{t}(1)`` (or its
+    ``t -> inf`` / ``n -> inf`` limits).
+
+    The bound reads ``E(l_i) <= theorem4_bound(...) * (E(l_j) + C)``.
+
+    Parameters
+    ----------
+    n:
+        Network size, or ``None`` for the size-free limit
+        ``f^2 * delta / (delta + 1 - f)``.
+    t:
+        Local time (number of balancing operations processor ``i`` took
+        part in), or ``None`` for the ``t -> inf`` value ``f^2 * FIX``.
+    """
+    _check_domain(delta, f)
+    if n is None:
+        return f * f * fix_limit(delta, f)
+    if t is None:
+        return f * f * fix(n, delta, f)
+    return f * f * iterate_G(n, delta, f, t)[-1]
+
+
+# ---------------------------------------------------------------------------
+# Section 6: cost of simulating a workload decrease
+# ---------------------------------------------------------------------------
+
+
+def U_factor(n: int, delta: int, f: float) -> float:
+    """Per-operation decrease factor when the ratio sits at the
+    consumption fixed point ``FIX(n, delta, 1/f)`` (slowest decrease)."""
+    _check_domain(delta, f)
+    return (1.0 / (f * (delta + 1))) * (1 + f * delta / fix(n, delta, 1.0 / f))
+
+
+def D_factor(n: int, delta: int, f: float) -> float:
+    """Per-operation decrease factor when the ratio sits at the growth
+    fixed point ``FIX(n, delta, f)`` (fastest decrease)."""
+    _check_domain(delta, f)
+    return (1.0 / (f * (delta + 1))) * (1 + delta * f / fix(n, delta, f))
+
+
+def lemma5_lower(x: float, c: float, n: int, delta: int, f: float) -> int:
+    """Lemma 5 lower bound on the expected number of balancing
+    operations to reduce the own-class load from ``x`` to ``x - c > 0``.
+
+    ``t >= max{0, floor(log((f^2(c-x)+x-1)/((f-1)(x+1)) (U-1) + 1) / log U)}``
+    """
+    _check_xc(x, c)
+    U = U_factor(n, delta, f)
+    if f == 1.0:
+        return 0
+    arg = (f * f * (c - x) + x - 1) / ((f - 1) * (x + 1)) * (U - 1) + 1
+    if arg <= 0 or U <= 0 or U == 1.0:
+        return 0
+    return max(0, math.floor(math.log(arg) / math.log(U)))
+
+
+def lemma5_upper(x: float, c: float, n: int, delta: int, f: float) -> int | None:
+    """Lemma 5 upper bound, or ``None`` when its validity condition
+    ``1/(1-D) >= (c + x f - x - f) / ((x-1) f (1 - 1/f))`` fails.
+
+    ``t <= ceil(log((c+xf-x-f)/((x-1)f(1-1/f)) (D-1) + 1) / log D)``
+    """
+    _check_xc(x, c)
+    if f == 1.0:
+        return None
+    D = D_factor(n, delta, f)
+    rhs = (c + x * f - x - f) / ((x - 1) * f * (1 - 1.0 / f))
+    if D >= 1.0 or 1.0 / (1.0 - D) < rhs:
+        return None
+    arg = rhs * (D - 1) + 1
+    if arg <= 0:
+        return None
+    return math.ceil(math.log(arg) / math.log(D))
+
+
+def lemma6_upper(
+    x: float, c: float, n: int, delta: int, f: float, max_t: int = 10_000_000
+) -> int | None:
+    """Lemma 6's improved upper bound.
+
+    Tracks the ratio through the consumption operator between
+    operations: with ``D_i = (1/(f(delta+1))) (1 + delta f / C^i(FIX(n,
+    delta, f)))`` the bound is the smallest integer ``t`` with
+
+        ``sum_{i=0}^{t-2} prod_{j=0}^{i} D_j >= (c - 1) / ((x-1) f (1 - 1/f))``.
+
+    Returns ``None`` if the target is not reachable within ``max_t``
+    operations (the series converges when the ``D_i`` stay < 1, so large
+    ``c/x`` may be unattainable — mirroring Lemma 5's validity bound).
+    """
+    _check_xc(x, c)
+    if f == 1.0:
+        return None
+    target = (c - 1) / ((x - 1) * f * (1 - 1.0 / f))
+    if target <= 0:
+        return 1
+    Cop = GrowthOperator(n, delta, 1.0 / f)
+    k = fix(n, delta, f)
+    acc = 0.0  # running sum of prefix products
+    prod = 1.0
+    for t in range(2, max_t + 1):
+        i = t - 2
+        d_i = (1.0 / (f * (delta + 1))) * (1 + delta * f / k)
+        prod = prod * d_i if i > 0 else d_i
+        acc += prod
+        if acc >= target:
+            return t
+        k = Cop(k)
+    return None
+
+
+def decrease_steps_expected(
+    x: float, c: float, n: int, delta: int, f: float, max_t: int = 10_000_000
+) -> int | None:
+    """Deterministic expected-value model of the decrease simulation.
+
+    One decrease-balance cycle: the producer consumes its own-class
+    load down by the factor ``f`` (``l * (1 - 1/f)`` packets consumed),
+    then a balancing operation refills it from partners holding ``l/k``
+    each, where the ratio ``k`` starts at ``FIX(n, delta, f)`` and
+    follows the consumption operator ``C``.  Counts cycles until the
+    cumulative consumption reaches ``c`` — the quantity Lemma 5/6
+    bound (see :func:`lemma6_upper` for the series form).
+    """
+    _check_domain(delta, f)
+    _check_xc(x, c)
+    Cop = GrowthOperator(n, delta, 1.0 / f)
+    k = fix(n, delta, f)
+    l = float(x)
+    consumed = 0.0
+    for t in range(1, max_t + 1):
+        consumed += l * (1.0 - 1.0 / f)
+        if consumed >= c:
+            return t
+        # balance: producer at l/f equalises with delta partners at l/k
+        l = l * (1.0 / f + delta / k) / (delta + 1)
+        k = Cop(k)
+    return None
+
+
+@dataclass(frozen=True, slots=True)
+class CostBounds:
+    """Bundle of the section-6 cost figures for one ``(x, c)`` pair."""
+
+    x: float
+    c: float
+    n: int
+    delta: int
+    f: float
+    lower: int
+    upper: int | None
+    improved_upper: int | None
+    expected_model: int | None
+
+    @classmethod
+    def compute(
+        cls, x: float, c: float, n: int, delta: int, f: float
+    ) -> "CostBounds":
+        return cls(
+            x=x,
+            c=c,
+            n=n,
+            delta=delta,
+            f=f,
+            lower=lemma5_lower(x, c, n, delta, f),
+            upper=lemma5_upper(x, c, n, delta, f),
+            improved_upper=lemma6_upper(x, c, n, delta, f),
+            expected_model=decrease_steps_expected(x, c, n, delta, f),
+        )
+
+
+def _check_domain(delta: int, f: float) -> None:
+    if delta < 1:
+        raise ValueError(f"delta must be >= 1, got {delta}")
+    if not 1.0 <= f < delta + 1:
+        raise ValueError(
+            f"the section-6 bounds require 1 <= f < delta + 1 "
+            f"(got f={f}, delta={delta})"
+        )
+
+
+def _check_xc(x: float, c: float) -> None:
+    if x <= 1:
+        raise ValueError(f"need x > 1, got {x}")
+    if not 0 < c < x:
+        raise ValueError(f"need 0 < c < x (x - c > 0), got x={x}, c={c}")

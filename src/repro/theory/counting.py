@@ -1,0 +1,82 @@
+"""Computation-graph counting (section 5).
+
+A *computation* of length ``t`` in the one-processor-generator model is
+the sequence of balancing candidates chosen by processor 1, one per
+balancing step.  Section 5 needs two counts:
+
+``n(t, u)``
+    the number of computations of length ``t`` that use *exactly* ``u``
+    distinct candidate processors (the paper's footnote gives the
+    recurrence ``n(t, u) = u^t - sum_{j<u} n(t, j) * binom(u, j)`` —
+    these are the surjective sequences onto ``u`` labels);
+
+``n(t, u, i)``
+    additionally, the candidate of step ``t`` was last used in step
+    ``i`` (i.e. the computation graph has the bow edge ``(i, t)``).
+    ``i = 0`` encodes a candidate never used before step ``t``.
+
+Both are computed exactly with integer arithmetic; an inclusion-
+exclusion sieve replaces the recurrence for ``n(t, u, i)``.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+__all__ = ["n_computations", "n_computations_bow"]
+
+
+@lru_cache(maxsize=None)
+def n_computations(t: int, u: int) -> int:
+    """``n(t, u)``: length-``t`` candidate sequences using exactly ``u``
+    distinct processors (labels fixed — these are surjections).
+
+    >>> n_computations(3, 2)   # aab ab a... : 2^3 - 2 = 6
+    6
+    """
+    if t < 0 or u < 0:
+        raise ValueError(f"need t, u >= 0, got t={t}, u={u}")
+    if u == 0:
+        return 1 if t == 0 else 0
+    if u > t:
+        return 0
+    return u**t - sum(
+        n_computations(t, j) * math.comb(u, j) for j in range(1, u)
+    )
+
+
+def n_computations_bow(t: int, u: int, i: int) -> int:
+    """``n(t, u, i)``: sequences counted by ``n(t, u)`` whose step-``t``
+    candidate was last used in step ``i`` (``i = 0``: never before).
+
+    Computed by an inclusion-exclusion sieve over the alphabet size: the
+    number of such sequences over an alphabet of exactly ``j`` symbols
+    without the surjectivity constraint is
+
+        ``A(t, j, i) = j * j^(i-1) * (j-1)^(t-1-i)``  for ``i >= 1``,
+        ``A(t, j, 0) = j * (j-1)^(t-1)``,
+
+    (choose the repeated symbol, fill the prefix freely, exclude the
+    symbol from the gap), and sieving gives exactly-``u``.
+
+    The counts partition ``n(t, u)``:
+    ``sum_i n(t, u, i) == n(t, u)`` for ``t >= 1``.
+    """
+    if not 0 <= i <= t - 1:
+        raise ValueError(f"need 0 <= i <= t-1, got i={i}, t={t}")
+    if u < 1 or u > t:
+        return 0
+
+    def unrestricted(j: int) -> int:
+        if j == 0:
+            return 0
+        gap = t - 1 - i
+        if i == 0:
+            return j * (j - 1) ** (t - 1)
+        return j * j ** (i - 1) * (j - 1) ** gap
+
+    return sum(
+        (-1) ** (u - j) * math.comb(u, j) * unrestricted(j)
+        for j in range(0, u + 1)
+    )

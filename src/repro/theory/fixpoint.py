@@ -1,0 +1,147 @@
+"""Fixed point of the growth operator: ``FIX(n, delta, f)`` and friends.
+
+Lemma 2 of the paper identifies the unique positive fixed point of the
+growth operator ``G`` as
+
+    FIX(n, delta, f) = sqrt((n - 1)/f + A^2) - A,
+    A = (f - f n + delta (n - 2) + (n - 1)) / (2 delta f),
+
+and shows ``G(k) >= k  <=>  k <= FIX`` (and symmetrically), i.e. the
+iteration ``G^t(1)`` increases monotonically towards ``FIX`` from any
+starting point below it.  Theorem 1 states ``G^t(1) <= FIX`` for all
+``t`` with equality in the limit; Theorem 2 gives the network-size-free
+bound ``FIX(n, delta, f) <= delta / (delta + 1 - f)`` with equality as
+``n -> inf`` (both require ``1 <= f < delta + 1``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.theory.operators import GrowthOperator
+
+__all__ = [
+    "A_const",
+    "fix",
+    "fix_limit",
+    "iterate_G",
+    "iterate_to_convergence",
+    "contraction_modulus",
+]
+
+
+def A_const(n: int, delta: int, f: float) -> float:
+    """The constant ``A`` of Lemma 2."""
+    _check(n, delta, f)
+    return (f - f * n + delta * (n - 2) + (n - 1)) / (2 * delta * f)
+
+
+def fix(n: int, delta: int, f: float) -> float:
+    """``FIX(n, delta, f)``: the fixed point of ``G`` (Lemma 2).
+
+    Defined for any ``f > 0`` (the consumption direction uses
+    ``fix(n, delta, 1/f)``).  For ``1 <= f < delta + 1`` Theorem 2
+    guarantees ``fix <= delta / (delta + 1 - f)``.
+
+    >>> round(fix(2, 1, 1.0), 12)   # f = 1: perfectly balanced
+    1.0
+    """
+    a = A_const(n, delta, f)
+    return math.sqrt((n - 1) / f + a * a) - a
+
+
+def fix_limit(delta: int, f: float) -> float:
+    """``lim_{n->inf} FIX(n, delta, f) = delta / (delta + 1 - f)``.
+
+    Requires ``f < delta + 1`` (for ``f >= delta + 1`` the fixed point
+    diverges: the producer outruns the balancing).  For the consumption
+    direction pass ``1/f``; since ``1/f <= 1 < delta + 1`` that is always
+    defined.
+    """
+    if f >= delta + 1:
+        raise ValueError(
+            f"fix_limit requires f < delta + 1 (got f={f}, delta={delta})"
+        )
+    return delta / (delta + 1 - f)
+
+
+def iterate_G(
+    n: int, delta: int, f: float, t: int, k0: float = 1.0
+) -> list[float]:
+    """The trajectory ``[k0, G(k0), ..., G^t(k0)]`` (length ``t + 1``)."""
+    G = GrowthOperator(n, delta, f)
+    out = [k0]
+    k = k0
+    for _ in range(t):
+        k = G(k)
+        out.append(k)
+    return out
+
+
+def iterate_to_convergence(
+    n: int,
+    delta: int,
+    f: float,
+    k0: float = 1.0,
+    tol: float = 1e-12,
+    max_iter: int = 1_000_000,
+) -> tuple[float, int]:
+    """Iterate ``G`` from ``k0`` until successive values differ by < tol.
+
+    Returns ``(value, iterations)``.  Converges geometrically because
+    ``G`` is a contraction on the positive ray (Banach); see
+    :func:`contraction_modulus`.
+    """
+    G = GrowthOperator(n, delta, f)
+    k = k0
+    for i in range(1, max_iter + 1):
+        nxt = G(k)
+        if abs(nxt - k) < tol:
+            return nxt, i
+        k = nxt
+    raise RuntimeError(
+        f"no convergence after {max_iter} iterations (n={n}, delta={delta}, f={f})"
+    )
+
+
+def contraction_modulus(
+    n: int, delta: int, f: float, lo: float, hi: float, samples: int = 1024
+) -> float:
+    """Numerical supremum of ``|G'(k)|`` over ``[lo, hi]``.
+
+    ``G'`` is monotone on the positive ray (its denominator is
+    increasing in ``k``), so sampling endpoints would suffice; we sample
+    the interval anyway to keep the function honest if the operator ever
+    changes.  A value ``< 1`` certifies that ``G`` is a contraction on
+    the interval, the hypothesis behind Theorem 1's use of Banach's
+    theorem.
+    """
+    if not 0 < lo <= hi:
+        raise ValueError(f"need 0 < lo <= hi, got [{lo}, {hi}]")
+    G = GrowthOperator(n, delta, f)
+    step = (hi - lo) / max(samples - 1, 1)
+    return max(abs(G.derivative(lo + i * step)) for i in range(samples))
+
+
+def fix_trajectory_bound_violations(
+    n: int, delta: int, f: float, t: int
+) -> Iterator[tuple[int, float]]:
+    """Yield ``(step, value)`` for any ``G^s(1) > FIX`` (should be empty).
+
+    Diagnostic helper used by the theory benchmarks: Theorem 1 asserts
+    the trajectory never overshoots the fixed point.
+    """
+    target = fix(n, delta, f)
+    for s, v in enumerate(iterate_G(n, delta, f, t)):
+        if v > target * (1 + 1e-12):
+            yield s, v
+
+
+def _check(n: int, delta: int, f: float) -> None:
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    if not 1 <= delta < n:
+        raise ValueError(f"need 1 <= delta < n, got delta={delta}, n={n}")
+    if f <= 0:
+        raise ValueError(f"f must be positive, got {f}")

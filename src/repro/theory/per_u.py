@@ -1,0 +1,201 @@
+"""The paper's §5 decomposition: moments conditioned on the number of
+distinct candidates used.
+
+Section 5 computes ``E(v_{t,u}^2)`` — the second moment of the
+producer's load over computations of length ``t`` that use *exactly*
+``u`` distinct candidate processors — via an ``O(p^2 t^3)`` recursion
+over computation graphs weighted by the counts ``n(t, u)`` and
+``n(t, u, i)``.
+
+This module computes the same family of quantities exactly with an
+``O(t * n)`` forward dynamic program.  The key observation extends the
+global moment recursion (:mod:`repro.theory.moments`): conditioned on
+"``u`` candidates used so far", the *unused* candidates still hold
+exactly their initial load 1 (they have never been touched), and the
+used ones remain exchangeable.  Hence the conditional distribution is
+summarised exactly by six moments
+
+    ``a=E[x^2|u], b=E[x y|u], c=E[y^2|u], d=E[y y'|u], e=E[x|u],
+    g=E[y|u]``
+
+(``y`` ranging over *used* candidates) plus the probability ``w_u``.
+Each balancing step either recruits a new candidate (probability
+``(m-u)/m``; its load is exactly 1) or revisits a used one
+(probability ``u/m``, uniformly); both transitions are linear in the
+moment vector, so the DP is exact.
+
+Cross-validation baked into the tests:
+
+* the weights satisfy ``w_u(t) = n(t, u) * binom(m, u) / m^t`` with the
+  combinatorial counts of :mod:`repro.theory.counting` — the paper's
+  footnote formula, now *derived* by two independent routes;
+* mixing the per-``u`` moments by ``w_u`` reproduces the global
+  recursion of :mod:`repro.theory.moments` and the exhaustive
+  enumeration to machine precision.
+
+Only ``delta = 1`` is provided (as in the paper's exact scheme; its
+``delta > 1`` treatment is the relaxed algorithm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PerUDecomposition", "per_u_moments"]
+
+# moment vector layout
+_A, _B, _C, _D, _E, _G = range(6)
+
+
+@dataclass(frozen=True, slots=True)
+class PerUDecomposition:
+    """Conditioned moments after ``t`` balancing steps.
+
+    ``weights[u]`` is ``P(exactly u candidates used)``;
+    ``moments[u]`` holds ``(a, b, c, d, e, g)`` conditioned on ``u``
+    (NaN where ``weights[u] == 0``).
+    """
+
+    t: int
+    n: int
+    f: float
+    weights: np.ndarray   # (u_max + 1,)
+    moments: np.ndarray   # (u_max + 1, 6)
+
+    @property
+    def u_max(self) -> int:
+        return self.weights.shape[0] - 1
+
+    def producer_second_moment(self, u: int) -> float:
+        """``E(v_t^2 | exactly u used)`` — the paper's E(v_{t,u}^2)."""
+        self._check_u(u)
+        return float(self.moments[u, _A])
+
+    def producer_mean(self, u: int) -> float:
+        self._check_u(u)
+        return float(self.moments[u, _E])
+
+    def vd_producer(self, u: int) -> float:
+        """Variation density of the producer conditioned on ``u``."""
+        self._check_u(u)
+        a, e = self.moments[u, _A], self.moments[u, _E]
+        var = max(a - e * e, 0.0)
+        return float(np.sqrt(var) / e) if e > 0 else 0.0
+
+    def marginal_moments(self) -> tuple[float, float]:
+        """Mix over ``u``: unconditional ``(E[v_t], E[v_t^2])``."""
+        mask = self.weights > 0
+        e = float((self.weights[mask] * self.moments[mask, _E]).sum())
+        a = float((self.weights[mask] * self.moments[mask, _A]).sum())
+        return e, a
+
+    def marginal_other_moments(self) -> tuple[float, float]:
+        """Unconditional ``(E[y], E[y^2])`` for a *fixed* candidate.
+
+        A fixed candidate is used with probability ``u/m`` given ``u``
+        (exchangeability over candidate labels) and unused — load
+        exactly 1 — otherwise.
+        """
+        m = self.n - 1
+        e = 0.0
+        a = 0.0
+        for u in range(self.u_max + 1):
+            w = float(self.weights[u])
+            if w == 0:
+                continue
+            if u == 0:  # no candidate touched: load exactly 1
+                e += w
+                a += w
+                continue
+            p_used = u / m
+            e += w * (p_used * float(self.moments[u, _G]) + (1 - p_used) * 1.0)
+            a += w * (p_used * float(self.moments[u, _C]) + (1 - p_used) * 1.0)
+        return e, a
+
+    def _check_u(self, u: int) -> None:
+        if not 0 <= u <= self.u_max:
+            raise ValueError(f"u out of range 0..{self.u_max}, got {u}")
+        if self.weights[u] == 0:
+            raise ValueError(f"no computations use exactly u={u} candidates")
+
+
+def per_u_moments(t: int, n: int, f: float) -> PerUDecomposition:
+    """Run the forward DP for ``t`` balancing steps (``delta = 1``)."""
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    if f <= 0:
+        raise ValueError(f"f must be positive, got {f}")
+    if t < 0:
+        raise ValueError(f"need t >= 0, got {t}")
+    m = n - 1
+    u_max = min(t, m)
+
+    # weighted (unnormalised) moment accumulators per u
+    weights = np.zeros(u_max + 1)
+    acc = np.zeros((u_max + 1, 6))
+    weights[0] = 1.0
+    acc[0] = [1.0, np.nan, np.nan, np.nan, 1.0, np.nan]  # no used candidates
+
+    for _step in range(t):
+        new_w = np.zeros_like(weights)
+        new_acc = np.zeros_like(acc)
+        for u in range(u_max + 1):
+            w = weights[u]
+            if w == 0:
+                continue
+            a, b, c, d, e, g = acc[u] / w if w else acc[u]
+            # --- recruit a new candidate: u -> u + 1 -----------------
+            p_new = (m - u) / m
+            if p_new > 0 and u + 1 <= u_max:
+                a2 = (f * f * a + 2 * f * e + 1.0) / 4.0
+                e2 = (f * e + 1.0) / 2.0
+                if u == 0:
+                    b2, c2, d2, g2 = a2, a2, np.nan, e2
+                else:
+                    cross_old = (f * b + g) / 2.0  # E[x' y_old]
+                    g2 = (u * g + e2) / (u + 1)
+                    c2 = (u * c + a2) / (u + 1)
+                    b2 = (a2 + u * cross_old) / (u + 1)
+                    pairs_new = u          # pairs containing the recruit
+                    pairs_old = u * (u - 1) // 2
+                    total_pairs = pairs_new + pairs_old
+                    d_old = d if u >= 2 else 0.0
+                    d2 = (
+                        (pairs_old * d_old + pairs_new * cross_old)
+                        / total_pairs
+                    )
+                    if u == 1:
+                        d2 = cross_old  # the only pair is (old, new)
+                wn = w * p_new
+                new_w[u + 1] += wn
+                new_acc[u + 1] += wn * np.array([a2, b2, c2, d2, e2, g2])
+            # --- revisit a used candidate: u stays -------------------
+            p_rep = u / m
+            if p_rep > 0:
+                a2 = (f * f * a + 2 * f * b + c) / 4.0
+                e2 = (f * e + g) / 2.0
+                if u == 1:
+                    b2 = a2
+                    c2 = a2
+                    d2 = np.nan
+                    g2 = e2
+                else:
+                    cross = (f * b + d) / 2.0  # E[x' y_k], k != j
+                    b2 = a2 / u + (u - 1) / u * cross
+                    c2 = a2 / u + (u - 1) / u * c
+                    if u == 2:
+                        d2 = cross  # the pair always contains j
+                    else:
+                        d2 = (2 * cross + (u - 2) * d) / u
+                    g2 = e2 / u + (u - 1) / u * g
+                wn = w * p_rep
+                new_w[u] += wn
+                new_acc[u] += wn * np.array([a2, b2, c2, d2, e2, g2])
+        weights, acc = new_w, new_acc
+
+    moments = np.full((u_max + 1, 6), np.nan)
+    mask = weights > 0
+    moments[mask] = acc[mask] / weights[mask, None]
+    return PerUDecomposition(t=t, n=n, f=f, weights=weights, moments=moments)

@@ -1,0 +1,352 @@
+"""Variation density of the load (section 5).
+
+The paper certifies the balancing *quality* — not just balanced
+expectations — by bounding the variation density
+
+    ``VD(l) = sqrt(E(l^2) - E(l)^2) / E(l)``
+
+of the per-processor load in the one-processor-generator model.  (The
+motivating strawman, "send everything to one random processor each
+step", has perfectly balanced expectations but huge VD; it lives in
+:mod:`repro.baselines.random_scatter`.)
+
+Model
+-----
+Real-valued loads, all processors starting at ``1``.  One balancing
+step of processor 1 (= one node of the paper's *computation graph*):
+
+* plain algorithm, ``delta = 1``: processor 1's load grows by the
+  factor ``f``, then it equalises with one uniformly chosen candidate —
+  both end at ``(f x + y) / 2``.  This is exactly the paper's edge
+  weighting (forward edge ``f/2``, bow edge ``1/2``:
+  ``v_t = 1/2 v_i + f/2 v_{t-1}``).
+* relaxed algorithm, ``delta >= 1`` (the paper's relaxation for
+  ``delta > 1``): instead of drawing a ``delta``-subset, draw ``delta``
+  candidates one at a time (with replacement) and set processor 1 and
+  all drawn candidates to the mean ``(f x + y_1 + ... + y_delta) /
+  (delta + 1)``.
+* exact algorithm ``delta >= 1``: draw a uniform ``delta``-subset
+  (without replacement), equalise the ``delta + 1`` participants.
+
+Two computations are provided:
+
+:func:`exact_variation_density`
+    Exact rational-free computation of ``E(l)``, ``E(l^2)`` (hence VD)
+    by enumeration over set-partition patterns of the candidate
+    sequence — the same object the paper's ``n(t, u)`` recursion
+    averages over, evaluated directly.  Cost grows with the Bell number
+    ``B(t)``; practical to ``t ~ 10``.  Used for unit-testing the
+    Monte-Carlo estimator and for the Figure-2 example.
+
+:func:`mc_variation_density`
+    Vectorised Monte-Carlo estimator at Figure-6 scale (``t`` up to
+    150, tens of thousands of trials).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Literal, Sequence
+
+import numpy as np
+
+from repro.rng import make_rng
+
+__all__ = [
+    "VariationResult",
+    "exact_variation_density",
+    "mc_variation_density",
+    "simulate_candidate_sequence",
+]
+
+Mode = Literal["plain", "relaxed", "exact"]
+
+
+@dataclass(frozen=True, slots=True)
+class VariationResult:
+    """Moments and variation densities per balancing step.
+
+    All arrays have length ``t + 1``; index ``s`` is the state after
+    ``s`` balancing steps (index 0 = balanced start, VD = 0).
+
+    ``vd_producer`` tracks processor 1 (the generator); ``vd_other``
+    tracks a fixed non-producer (all are exchangeable).
+    """
+
+    t: int
+    n: int
+    delta: int
+    f: float
+    mode: str
+    e_producer: np.ndarray
+    e2_producer: np.ndarray
+    e_other: np.ndarray
+    e2_other: np.ndarray
+
+    @property
+    def vd_producer(self) -> np.ndarray:
+        return _vd(self.e_producer, self.e2_producer)
+
+    @property
+    def vd_other(self) -> np.ndarray:
+        return _vd(self.e_other, self.e2_other)
+
+
+def _vd(e: np.ndarray, e2: np.ndarray) -> np.ndarray:
+    var = np.maximum(e2 - e * e, 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.sqrt(var) / e
+    return np.where(e > 0, out, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# explicit candidate sequences (Figure 2 semantics)
+# ---------------------------------------------------------------------------
+
+
+def simulate_candidate_sequence(
+    candidates: Sequence[int], f: float, n: int
+) -> np.ndarray:
+    """Run the plain (``delta = 1``) real-valued model for an explicit
+    candidate sequence; return the full ``(t+1, n)`` load history.
+
+    ``candidates[s]`` is the processor (in ``2..n``) chosen at step
+    ``s + 1``; processor 1 is the producer.  All loads start at 1.
+    Row ``s`` of the result is the load vector after ``s`` steps.  This
+    realises the paper's Figure-2 computation graph: the value of
+    processor 1 after step ``t`` satisfies
+    ``v_t = 1/2 v_i + f/2 v_{t-1}`` where ``i`` is the step in which
+    ``candidates[t-1]`` was last used (0 if never).
+    """
+    loads = np.ones(n, dtype=float)
+    hist = [loads.copy()]
+    for c in candidates:
+        if not 2 <= c <= n:
+            raise ValueError(f"candidate {c} out of range 2..{n}")
+        merged = (f * loads[0] + loads[c - 1]) / 2.0
+        loads[0] = merged
+        loads[c - 1] = merged
+        hist.append(loads.copy())
+    return np.asarray(hist)
+
+
+# ---------------------------------------------------------------------------
+# exact enumeration over set-partition patterns
+# ---------------------------------------------------------------------------
+
+
+def _rgs_patterns(t: int, max_blocks: int) -> Iterator[tuple[int, ...]]:
+    """Yield restricted-growth strings of length ``t`` with at most
+    ``max_blocks`` blocks (canonical set-partition encodings)."""
+
+    def rec(prefix: list[int], used: int) -> Iterator[tuple[int, ...]]:
+        if len(prefix) == t:
+            yield tuple(prefix)
+            return
+        limit = min(used + 1, max_blocks)
+        for b in range(limit):
+            prefix.append(b)
+            yield from rec(prefix, max(used, b + 1))
+            prefix.pop()
+
+    if t == 0:
+        yield ()
+        return
+    yield from rec([], 0)
+
+
+def _falling(a: int, k: int) -> int:
+    out = 1
+    for i in range(k):
+        out *= a - i
+    return out
+
+
+def exact_variation_density(
+    t: int, n: int, f: float, delta: int = 1, mode: Mode = "plain"
+) -> VariationResult:
+    """Exact ``E``, ``E^2`` of producer and non-producer loads.
+
+    Enumerates candidate sequences up to relabelling (set-partition
+    patterns) and weights each pattern by the number of candidate
+    assignments; this evaluates the same average over computation
+    graphs as the paper's ``O(p^2 t^3)`` recursion, directly.
+
+    For ``delta = 1`` this is the plain algorithm.  For ``delta > 1``
+    only the relaxed (with-replacement) algorithm is supported — then
+    each *balancing step* contributes ``delta`` pattern symbols, so the
+    enumeration length is ``t * delta``.
+
+    Complexity: Bell(``t * delta``) patterns; keep ``t * delta <= 12``.
+    """
+    if mode == "exact" and delta > 1:
+        raise NotImplementedError(
+            "exact enumeration supports delta > 1 only in relaxed mode"
+        )
+    m = n - 1  # number of potential candidates
+    if m < 1:
+        raise ValueError("need n >= 2")
+    steps = t * delta if delta > 1 else t
+    if steps > 14:
+        raise ValueError(
+            f"exact enumeration limited to t*delta <= 14, got {steps}"
+        )
+
+    e_prod = np.zeros(t + 1)
+    e2_prod = np.zeros(t + 1)
+    e_oth = np.zeros(t + 1)
+    e2_oth = np.zeros(t + 1)
+    total_weight = float(m) ** steps
+
+    for pattern in _rgs_patterns(steps, max_blocks=min(steps, m)):
+        u = (max(pattern) + 1) if pattern else 0
+        weight = _falling(m, u)  # ordered choices of distinct candidates
+        if weight == 0:
+            continue
+        w = weight / total_weight
+        # simulate: producer value x, block values y[b], untouched = 1
+        x = 1.0
+        y = [1.0] * u
+        probe = _ProbeMoments(m, u)
+        probe.record(0, x, y)
+        if delta == 1:
+            for s, b in enumerate(pattern, start=1):
+                merged = (f * x + y[b]) / 2.0
+                x = merged
+                y[b] = merged
+                probe.record(s, x, y)
+        else:
+            for s in range(1, t + 1):
+                chunk = pattern[(s - 1) * delta : s * delta]
+                tot = f * x + sum(y[b] for b in chunk)
+                # with replacement a candidate may repeat inside the
+                # chunk; the mean still counts it once per draw, and all
+                # distinct participants end at the mean
+                merged = tot / (delta + 1)
+                x = merged
+                for b in set(chunk):
+                    y[b] = merged
+                probe.record(s, x, y)
+        e_prod += w * np.asarray(probe.e_prod)
+        e2_prod += w * np.asarray(probe.e2_prod)
+        e_oth += w * np.asarray(probe.e_oth)
+        e2_oth += w * np.asarray(probe.e2_oth)
+
+    return VariationResult(
+        t=t,
+        n=n,
+        delta=delta,
+        f=f,
+        mode=("plain" if delta == 1 else "relaxed"),
+        e_producer=e_prod,
+        e2_producer=e2_prod,
+        e_other=e_oth,
+        e2_other=e2_oth,
+    )
+
+
+class _ProbeMoments:
+    """Accumulates per-step moments for one pattern.
+
+    A fixed non-producer is, conditionally on the pattern, assigned to
+    block ``b`` with probability ``1/m`` each and untouched with
+    probability ``(m - u)/m`` — so its conditional moments are averages
+    over blocks plus the untouched mass at load 1.
+    """
+
+    def __init__(self, m: int, u: int) -> None:
+        self.m = m
+        self.u = u
+        self.e_prod: list[float] = []
+        self.e2_prod: list[float] = []
+        self.e_oth: list[float] = []
+        self.e2_oth: list[float] = []
+
+    def record(self, _s: int, x: float, y: list[float]) -> None:
+        m, u = self.m, self.u
+        self.e_prod.append(x)
+        self.e2_prod.append(x * x)
+        s1 = sum(y)
+        s2 = sum(v * v for v in y)
+        untouched = m - u
+        self.e_oth.append((s1 + untouched * 1.0) / m)
+        self.e2_oth.append((s2 + untouched * 1.0) / m)
+
+
+# ---------------------------------------------------------------------------
+# vectorised Monte Carlo (Figure-6 scale)
+# ---------------------------------------------------------------------------
+
+
+def mc_variation_density(
+    t: int,
+    n: int,
+    f: float,
+    delta: int = 1,
+    mode: Mode = "exact",
+    trials: int = 20_000,
+    seed: int | np.random.Generator | None = 0,
+) -> VariationResult:
+    """Monte-Carlo estimate of the per-step moments / variation density.
+
+    Parameters
+    ----------
+    mode:
+        ``"plain"``/``"exact"``: one uniform ``delta``-subset per step
+        (identical for ``delta = 1``); ``"relaxed"``: ``delta`` draws
+        with replacement (section 5's relaxation).
+    trials:
+        Number of independent trajectories; the VD standard error decays
+        as ``1/sqrt(trials)``.
+    """
+    if n < 2 or not 1 <= delta < n:
+        raise ValueError(f"need n >= 2 and 1 <= delta < n (n={n}, delta={delta})")
+    rng = make_rng(seed)
+    m = n - 1
+    loads = np.ones((trials, n), dtype=float)
+
+    e_prod = np.empty(t + 1)
+    e2_prod = np.empty(t + 1)
+    e_oth = np.empty(t + 1)
+    e2_oth = np.empty(t + 1)
+
+    def snapshot(s: int) -> None:
+        x = loads[:, 0]
+        e_prod[s] = x.mean()
+        e2_prod[s] = (x * x).mean()
+        others = loads[:, 1:]
+        e_oth[s] = others.mean()
+        e2_oth[s] = (others * others).mean()
+
+    snapshot(0)
+    for s in range(1, t + 1):
+        if mode == "relaxed":
+            picks = rng.integers(1, n, size=(trials, delta))
+            # a candidate drawn twice contributes each draw to the mean
+            drawn = np.take_along_axis(loads, picks, axis=1)
+            merged = (f * loads[:, 0] + drawn.sum(axis=1)) / (delta + 1)
+            loads[:, 0] = merged
+            np.put_along_axis(loads, picks, merged[:, None], axis=1)
+        else:
+            if delta == 1:
+                picks = rng.integers(1, n, size=(trials, 1))
+            else:
+                keys = rng.random((trials, m))
+                picks = np.argpartition(keys, delta - 1, axis=1)[:, :delta] + 1
+            drawn = np.take_along_axis(loads, picks, axis=1)
+            merged = (f * loads[:, 0] + drawn.sum(axis=1)) / (delta + 1)
+            loads[:, 0] = merged
+            np.put_along_axis(loads, picks, merged[:, None], axis=1)
+        snapshot(s)
+
+    return VariationResult(
+        t=t,
+        n=n,
+        delta=delta,
+        f=f,
+        mode=mode,
+        e_producer=e_prod,
+        e2_producer=e2_prod,
+        e_other=e_oth,
+        e2_other=e2_oth,
+    )

@@ -1,0 +1,45 @@
+"""Workload models: who generates/consumes packets when.
+
+The engine consumes a per-tick action vector (``+1`` generate, ``-1``
+consume, ``0`` idle) from a :class:`~repro.workload.base.WorkloadModel`.
+The paper makes *no* distributional assumptions — its theorems hold for
+any load pattern — so this package provides a spectrum:
+
+* :mod:`repro.workload.phases` — the section-7 synthetic benchmark:
+  per-processor phases ``(g_i, c_i, start_i, end_i)`` drawn from global
+  ranges ``(g_l, g_h, c_l, c_h, len_l, len_h)``;
+* :mod:`repro.workload.patterns` — structured patterns: one producer,
+  producer/consumer split, uniform, bursty hot-spots, and an adversarial
+  flip-flop pattern;
+* :mod:`repro.workload.trace` — record a model's decisions and replay
+  them bit-exactly (cross-algorithm comparisons use the same trace for
+  every balancer).
+"""
+
+from repro.workload.base import WorkloadModel, ConstantWorkload
+from repro.workload.phases import PhaseSpec, PhaseWorkload, Section7Workload
+from repro.workload.patterns import (
+    AdversarialFlipFlop,
+    BurstyHotspot,
+    OneProducer,
+    ProducerConsumerSplit,
+    UniformRandom,
+)
+from repro.workload.trace import RecordedWorkload, TraceRecorder
+from repro.workload.markov import MarkovModulated
+
+__all__ = [
+    "MarkovModulated",
+    "WorkloadModel",
+    "ConstantWorkload",
+    "PhaseSpec",
+    "PhaseWorkload",
+    "Section7Workload",
+    "OneProducer",
+    "ProducerConsumerSplit",
+    "UniformRandom",
+    "BurstyHotspot",
+    "AdversarialFlipFlop",
+    "TraceRecorder",
+    "RecordedWorkload",
+]

@@ -1,0 +1,81 @@
+"""Workload model protocol.
+
+A workload model maps (tick, current loads) to an action vector.  It
+sees the load vector only to avoid requesting consumption from an empty
+processor when it wants to model "consume if available" semantics — the
+engine independently guards against impossible consumes (and counts
+them as *starved*).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["WorkloadModel", "ConstantWorkload", "sample_actions"]
+
+
+def sample_actions(
+    g: np.ndarray, c: np.ndarray, loads: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw one tick of actions from per-processor probabilities.
+
+    The paper's model: per tick a processor generates with probability
+    ``g`` and consumes an available packet with probability ``c`` — but
+    only one packet may move per tick.  We draw the two events
+    independently; when both fire a fair coin picks which one happens
+    (modelling them as sub-ticks in random order, per the paper's
+    "consecutive generation/consumption of one load unit" remark).
+    Consumption on an empty processor degrades to idle.
+    """
+    n = loads.shape[0]
+    gen = rng.random(n) < g
+    con = rng.random(n) < c
+    both = gen & con
+    coin = rng.random(n) < 0.5
+    gen = gen & (~both | coin)
+    con = con & (~both | ~coin)
+    out = np.zeros(n, dtype=np.int64)
+    out[gen] = 1
+    out[con & (loads > 0)] = -1
+    return out
+
+
+@runtime_checkable
+class WorkloadModel(Protocol):
+    """Per-tick action source for an ``n``-processor simulation."""
+
+    n: int
+
+    def actions(
+        self, t: int, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return the tick-``t`` action vector: values in ``{-1, 0, +1}``.
+
+        ``loads`` is the *current* real load vector (read-only by
+        convention).  ``rng`` is the workload stream (distinct from the
+        engine's balancing stream so the two sources of randomness can
+        be varied independently).
+        """
+        ...
+
+
+class ConstantWorkload:
+    """Fixed action vector every tick — the simplest possible model.
+
+    Useful for unit tests and for hand-built scenarios, e.g.
+    ``ConstantWorkload([+1] + [0] * 63)`` is the one-producer model on
+    64 processors.
+    """
+
+    def __init__(self, vector: np.ndarray | list[int]) -> None:
+        self.vector = np.asarray(vector, dtype=np.int64)
+        if not np.isin(self.vector, (-1, 0, 1)).all():
+            raise ValueError("actions must be -1, 0 or +1")
+        self.n = self.vector.shape[0]
+
+    def actions(
+        self, t: int, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self.vector.copy()

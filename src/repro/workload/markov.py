@@ -1,0 +1,88 @@
+"""Markov-modulated workload: per-processor on/off burst processes.
+
+A standard traffic model from the performance-evaluation literature:
+each processor carries a two-state Markov chain (BURST / QUIET).  In
+BURST it generates heavily and consumes little; in QUIET the reverse.
+Transition probabilities set the expected burst/quiet lengths
+(geometric sojourns), giving tunable temporal correlation — the §7
+phase workload with random *memoryless* phase boundaries instead of
+uniform phase lengths.
+
+Independent chains across processors produce the inhomogeneous,
+drifting activity pattern the paper's adaptivity argument is about: no
+static threshold fits both states.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workload.base import sample_actions
+
+__all__ = ["MarkovModulated"]
+
+
+class MarkovModulated:
+    """Two-state Markov-modulated generate/consume workload.
+
+    Parameters
+    ----------
+    n:
+        Number of processors.
+    burst_rates:
+        ``(g, c)`` probabilities while in BURST.
+    quiet_rates:
+        ``(g, c)`` probabilities while in QUIET.
+    mean_burst, mean_quiet:
+        Expected sojourn lengths (ticks) of the two states.
+    start_bursting:
+        Fraction of processors starting in BURST (rounded).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        burst_rates: tuple[float, float] = (0.9, 0.1),
+        quiet_rates: tuple[float, float] = (0.1, 0.7),
+        mean_burst: float = 50.0,
+        mean_quiet: float = 100.0,
+        start_bursting: float = 0.5,
+    ) -> None:
+        if n < 1:
+            raise ValueError("need n >= 1")
+        if mean_burst < 1 or mean_quiet < 1:
+            raise ValueError("sojourn means must be >= 1 tick")
+        if not 0 <= start_bursting <= 1:
+            raise ValueError("start_bursting must be in [0, 1]")
+        for g, c in (burst_rates, quiet_rates):
+            if not (0 <= g <= 1 and 0 <= c <= 1):
+                raise ValueError("rates must be probabilities")
+        self.n = n
+        self.burst_rates = burst_rates
+        self.quiet_rates = quiet_rates
+        self.p_leave_burst = 1.0 / mean_burst
+        self.p_leave_quiet = 1.0 / mean_quiet
+        k = round(n * start_bursting)
+        self.bursting = np.zeros(n, dtype=bool)
+        self.bursting[:k] = True
+
+    def actions(
+        self, t: int, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        # state transitions first (so t=0 uses the initial assignment
+        # only for sampling, like a chain observed after its first move)
+        leave = rng.random(self.n)
+        flip = np.where(
+            self.bursting, leave < self.p_leave_burst, leave < self.p_leave_quiet
+        )
+        self.bursting = self.bursting ^ flip
+        g = np.where(self.bursting, self.burst_rates[0], self.quiet_rates[0])
+        c = np.where(self.bursting, self.burst_rates[1], self.quiet_rates[1])
+        return sample_actions(g, c, loads, rng)
+
+    @property
+    def stationary_burst_fraction(self) -> float:
+        """Long-run fraction of time a processor spends bursting."""
+        a, b = self.p_leave_burst, self.p_leave_quiet
+        return b / (a + b)

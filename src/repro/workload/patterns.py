@@ -1,0 +1,141 @@
+"""Structured workload patterns.
+
+The paper's theorems hold for *any* load pattern; these models exercise
+the corners:
+
+* :class:`OneProducer` — the section-3 OPG model inside the full
+  engine (one generator, optional global consumers);
+* :class:`ProducerConsumerSplit` — half the machine produces, half
+  consumes: sustained load flux across the network;
+* :class:`UniformRandom` — homogeneous background activity;
+* :class:`BurstyHotspot` — a rotating hot-spot generates in bursts, the
+  rest consume: stresses the adaptivity claim (no static activity
+  bounds to retune);
+* :class:`AdversarialFlipFlop` — each processor alternates between
+  pure-generate and pure-consume half-periods in counter-phase with its
+  neighbours, an adversarial-ish pattern with maximal local load swing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workload.base import sample_actions
+
+__all__ = [
+    "OneProducer",
+    "ProducerConsumerSplit",
+    "UniformRandom",
+    "BurstyHotspot",
+    "AdversarialFlipFlop",
+]
+
+
+class OneProducer:
+    """Processor 0 generates with probability ``gen``; everyone may
+    consume with probability ``consume`` (0 = pure OPG model)."""
+
+    def __init__(self, n: int, gen: float = 1.0, consume: float = 0.0) -> None:
+        if n < 1:
+            raise ValueError("need n >= 1")
+        self.n = n
+        self.g = np.zeros(n)
+        self.g[0] = gen
+        self.c = np.full(n, consume)
+        self.c[0] = 0.0
+
+    def actions(
+        self, t: int, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return sample_actions(self.g, self.c, loads, rng)
+
+
+class ProducerConsumerSplit:
+    """First ``k`` processors generate (prob ``gen``), the rest consume
+    (prob ``consume``)."""
+
+    def __init__(
+        self, n: int, k: int | None = None, gen: float = 0.8, consume: float = 0.8
+    ) -> None:
+        self.n = n
+        k = n // 2 if k is None else k
+        if not 0 < k < n:
+            raise ValueError(f"need 0 < k < n, got k={k}, n={n}")
+        self.g = np.where(np.arange(n) < k, gen, 0.0)
+        self.c = np.where(np.arange(n) < k, 0.0, consume)
+
+    def actions(
+        self, t: int, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return sample_actions(self.g, self.c, loads, rng)
+
+
+class UniformRandom:
+    """Every processor generates with prob ``gen`` and consumes with
+    prob ``consume`` every tick."""
+
+    def __init__(self, n: int, gen: float = 0.5, consume: float = 0.5) -> None:
+        self.n = n
+        self.g = np.full(n, gen)
+        self.c = np.full(n, consume)
+
+    def actions(
+        self, t: int, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return sample_actions(self.g, self.c, loads, rng)
+
+
+class BurstyHotspot:
+    """A hot-spot that jumps to a new random processor every ``period``
+    ticks and generates at full rate while everyone else consumes."""
+
+    def __init__(
+        self, n: int, period: int = 50, consume: float = 0.3, gen: float = 1.0
+    ) -> None:
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.n = n
+        self.period = period
+        self.consume = consume
+        self.gen = gen
+        self._hot = 0
+        self._since = 0
+
+    def actions(
+        self, t: int, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self._since % self.period == 0:
+            self._hot = int(rng.integers(self.n))
+        self._since += 1
+        g = np.zeros(self.n)
+        g[self._hot] = self.gen
+        c = np.full(self.n, self.consume)
+        c[self._hot] = 0.0
+        return sample_actions(g, c, loads, rng)
+
+
+class AdversarialFlipFlop:
+    """Counter-phased generate/consume square waves.
+
+    Even processors generate during the first half-period and consume
+    during the second; odd processors do the opposite.  Every processor
+    therefore swings between maximal growth and maximal decay — the
+    load pattern a factor-trigger algorithm finds hardest to smooth.
+    """
+
+    def __init__(self, n: int, half_period: int = 40, rate: float = 1.0) -> None:
+        if half_period < 1:
+            raise ValueError("half_period must be >= 1")
+        self.n = n
+        self.half_period = half_period
+        self.rate = rate
+
+    def actions(
+        self, t: int, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        phase_a = (t // self.half_period) % 2 == 0
+        even = np.arange(self.n) % 2 == 0
+        generating = even if phase_a else ~even
+        g = np.where(generating, self.rate, 0.0)
+        c = np.where(generating, 0.0, self.rate)
+        return sample_actions(g, c, loads, rng)

@@ -1,0 +1,159 @@
+"""The section-7 synthetic workload benchmark.
+
+The paper describes each processor's workload as a sequence of tuples
+``(g_i, c_i, start_i, end_i)``: during ticks ``start_i <= t <= end_i``
+the processor generates a packet with probability ``g_i`` and consumes
+an available packet with probability ``c_i``.  The tuples themselves
+are drawn from global ranges:
+
+    ``g_l <= g_i <= g_h``, ``c_l <= c_i <= c_h``,
+    ``len_l <= end_i - start_i <= len_h``.
+
+The experiments of the paper use 64 processors, 500 time steps and
+
+    ``g_l = 0.1, g_h = 0.9, c_l = 0.1, c_h = 0.7,
+      len_l = 150, len_h = 400``
+
+("workload generation and consumption have nearly the same probability";
+the long phases make the activity distribution across processors very
+inhomogeneous).  :class:`Section7Workload` bakes in those defaults.
+
+Semantics of one tick (matching the engine's one-packet-per-tick
+model): with probability ``g`` the processor generates; otherwise, with
+probability ``c`` it consumes if it has load.  Phases cover the whole
+horizon back to back; each phase redraws ``(g, c)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workload.base import sample_actions
+
+__all__ = ["PhaseSpec", "PhaseWorkload", "Section7Workload"]
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseSpec:
+    """One workload phase of one processor: ``[start, end]`` inclusive."""
+
+    g: float
+    c: float
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.g <= 1 or not 0 <= self.c <= 1:
+            raise ValueError(f"probabilities must be in [0,1]: g={self.g}, c={self.c}")
+        if self.end < self.start:
+            raise ValueError(f"end < start: {self.end} < {self.start}")
+
+
+class PhaseWorkload:
+    """Explicit per-processor phase lists.
+
+    ``phases[i]`` is the ordered phase list of processor ``i``; ticks
+    not covered by any phase are idle.
+    """
+
+    def __init__(self, phases: list[list[PhaseSpec]]) -> None:
+        self.phase_lists = phases
+        self.n = len(phases)
+
+    def _rates(self, t: int) -> tuple[np.ndarray, np.ndarray]:
+        g = np.zeros(self.n)
+        c = np.zeros(self.n)
+        for i, plist in enumerate(self.phase_lists):
+            for ph in plist:
+                if ph.start <= t <= ph.end:
+                    g[i] = ph.g
+                    c[i] = ph.c
+                    break
+        return g, c
+
+    def actions(
+        self, t: int, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        g, c = self._rates(t)
+        return sample_actions(g, c, loads, rng)
+
+
+class Section7Workload:
+    """Random phase workload drawn from the paper's global ranges.
+
+    Phases are drawn per processor, back to back, until the horizon is
+    covered: each has length uniform in ``[len_l, len_h]``, generation
+    probability uniform in ``[g_l, g_h]`` and consumption probability
+    uniform in ``[c_l, c_h]``.  The paper's parameter set is the
+    default.
+
+    The phase layout is drawn once per instance from ``layout_rng`` (or
+    the first ``actions`` call's rng if none given), so one instance =
+    one concrete workload; experiment runners build a fresh instance
+    per run.
+    """
+
+    def __init__(
+        self,
+        n: int = 64,
+        horizon: int = 500,
+        *,
+        g_range: tuple[float, float] = (0.1, 0.9),
+        c_range: tuple[float, float] = (0.1, 0.7),
+        len_range: tuple[int, int] = (150, 400),
+        layout_rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if n < 1 or horizon < 1:
+            raise ValueError(f"need n, horizon >= 1 (n={n}, horizon={horizon})")
+        lo, hi = len_range
+        if not 1 <= lo <= hi:
+            raise ValueError(f"bad len_range {len_range}")
+        self.n = n
+        self.horizon = horizon
+        self.g_range = g_range
+        self.c_range = c_range
+        self.len_range = len_range
+        self._g_table: np.ndarray | None = None
+        self._c_table: np.ndarray | None = None
+        if layout_rng is not None:
+            self._build_layout(
+                layout_rng
+                if isinstance(layout_rng, np.random.Generator)
+                else np.random.default_rng(layout_rng)
+            )
+
+    def _build_layout(self, rng: np.random.Generator) -> None:
+        """Materialise per-tick (g, c) tables for the whole horizon."""
+        g_tab = np.zeros((self.horizon, self.n))
+        c_tab = np.zeros((self.horizon, self.n))
+        for i in range(self.n):
+            t = 0
+            while t < self.horizon:
+                length = int(rng.integers(self.len_range[0], self.len_range[1] + 1))
+                g = rng.uniform(*self.g_range)
+                c = rng.uniform(*self.c_range)
+                end = min(t + length, self.horizon)
+                g_tab[t:end, i] = g
+                c_tab[t:end, i] = c
+                t = end
+        self._g_table = g_tab
+        self._c_table = c_tab
+
+    @property
+    def phase_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """The materialised per-tick ``(g, c)`` tables (layout must exist)."""
+        if self._g_table is None or self._c_table is None:
+            raise RuntimeError("layout not built yet; pass layout_rng or call actions")
+        return self._g_table, self._c_table
+
+    def actions(
+        self, t: int, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self._g_table is None:
+            self._build_layout(rng)
+        assert self._g_table is not None and self._c_table is not None
+        if t >= self.horizon:
+            return np.zeros(self.n, dtype=np.int64)
+        return sample_actions(self._g_table[t], self._c_table[t], loads, rng)

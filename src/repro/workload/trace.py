@@ -1,0 +1,68 @@
+"""Workload trace recording and bit-exact replay.
+
+Comparing two balancing algorithms fairly requires feeding them the
+*same* generation/consumption decisions.  A :class:`TraceRecorder`
+wraps any workload model and logs the action vector it emitted each
+tick; the resulting :class:`RecordedWorkload` replays those vectors
+verbatim, ignoring its rng.
+
+Caveat: consumption decisions can depend on the load vector (a consume
+is only emitted when load is available), and different balancers yield
+different load vectors.  Replay therefore re-checks availability — a
+recorded ``-1`` on a now-empty processor degrades to idle, exactly as
+the live models behave.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workload.base import WorkloadModel
+
+__all__ = ["TraceRecorder", "RecordedWorkload"]
+
+
+class TraceRecorder:
+    """Wraps a workload model and records every emitted action vector."""
+
+    def __init__(self, inner: WorkloadModel) -> None:
+        self.inner = inner
+        self.n = inner.n
+        self.log: list[np.ndarray] = []
+
+    def actions(
+        self, t: int, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        a = self.inner.actions(t, loads, rng)
+        self.log.append(a.copy())
+        return a
+
+    def trace(self) -> "RecordedWorkload":
+        """Freeze the log into a replayable workload."""
+        return RecordedWorkload(np.asarray(self.log))
+
+
+class RecordedWorkload:
+    """Replay a ``(ticks, n)`` action matrix; idle beyond the horizon."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=np.int64)
+        if matrix.ndim != 2:
+            raise ValueError(f"trace must be 2-D, got shape {matrix.shape}")
+        if matrix.size and not np.isin(matrix, (-1, 0, 1)).all():
+            raise ValueError("trace actions must be -1, 0 or +1")
+        self.matrix = matrix
+        self.n = matrix.shape[1]
+
+    @property
+    def horizon(self) -> int:
+        return self.matrix.shape[0]
+
+    def actions(
+        self, t: int, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        if t >= self.horizon:
+            return np.zeros(self.n, dtype=np.int64)
+        a = self.matrix[t].copy()
+        a[(a == -1) & (loads <= 0)] = 0
+        return a

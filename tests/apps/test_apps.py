@@ -1,0 +1,99 @@
+"""Tests for the demo application workloads."""
+
+import numpy as np
+import pytest
+
+from repro import LBParams, run_simulation
+from repro.apps import BranchAndBoundWorkload, TreeSearchWorkload
+
+
+class TestBranchAndBound:
+    def test_seeds_generated_first(self, rng):
+        w = BranchAndBoundWorkload(4, seeds=3)
+        a = w.actions(0, np.zeros(4), rng)
+        assert a[0] == 1
+        assert (a[1:] == 0).all()
+
+    def test_expansion_spawns_pending(self):
+        rng = np.random.default_rng(0)
+        w = BranchAndBoundWorkload(4, p0=1.0, branching_factor=3, seeds=1)
+        w.actions(0, np.zeros(4), rng)  # generate the seed
+        a = w.actions(1, np.array([1, 0, 0, 0]), rng)  # expand it
+        assert a[0] == -1
+        assert w.pending[0] == 3
+
+    def test_branch_probability_decays(self):
+        w = BranchAndBoundWorkload(4, p0=0.8, tau=100)
+        w.total_consumed = 200
+        assert w.branch_probability < 0.8 * 0.2
+
+    def test_burnout(self):
+        """With decaying p, the search eventually finishes."""
+        res = run_simulation(
+            8,
+            LBParams(f=1.3, delta=2, C=4),
+            BranchAndBoundWorkload(8, p0=0.6, tau=300),
+            steps=2000,
+            seed=0,
+        )
+        assert res.loads[-1].sum() == 0  # all work consumed
+
+    def test_supercritical_explosion(self):
+        """Early phase: load grows well beyond the seeds."""
+        w = BranchAndBoundWorkload(8, p0=0.9, branching_factor=3, tau=1e9, seeds=2)
+        res = run_simulation(
+            8, LBParams(f=1.3, delta=2, C=4), w, steps=150, seed=1
+        )
+        assert res.loads.sum(axis=1).max() > 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BranchAndBoundWorkload(4, p0=0.0)
+        with pytest.raises(ValueError):
+            BranchAndBoundWorkload(4, branching_factor=0)
+        with pytest.raises(ValueError):
+            BranchAndBoundWorkload(4, tau=-1)
+
+
+class TestTreeSearch:
+    def test_bounded_depth_terminates(self):
+        w = TreeSearchWorkload(8, max_depth=6, seeds=4)
+        res = run_simulation(
+            8, LBParams(f=1.3, delta=2, C=4), w, steps=3000, seed=2
+        )
+        assert res.loads[-1].sum() == 0
+        assert w.total_expanded > 0
+
+    def test_children_tracked_with_depth(self):
+        rng = np.random.default_rng(3)
+        w = TreeSearchWorkload(2, max_depth=3, child_probs=(0.0, 0.0, 1.0), seeds=1)
+        w.actions(0, np.zeros(2), rng)  # generate seed (depth 0)
+        w.actions(1, np.array([1, 0]), rng)  # expand -> 2 children depth 1
+        assert w.pending[0] == 2
+        assert w.pending_depth[0] == [1, 1]
+
+    def test_leaves_do_not_spawn(self):
+        rng = np.random.default_rng(4)
+        w = TreeSearchWorkload(2, max_depth=1, child_probs=(0.0, 0.0, 1.0), seeds=1)
+        w.actions(0, np.zeros(2), rng)       # seed at depth 0
+        w.actions(1, np.array([1, 0]), rng)  # expand -> 2 at depth 1
+        w.actions(2, np.zeros(2), rng)       # pay one pending
+        w.actions(3, np.array([1, 0]), rng)  # pay second pending
+        # expand the two depth-1 leaves: no new children
+        w.actions(4, np.array([2, 0]) - 1, rng)
+        assert w.pending[0] == 0
+
+    def test_finished_flag(self):
+        w = TreeSearchWorkload(4, seeds=2)
+        assert not w.finished
+        w.pending[:] = 0
+        w.pending_depth = [[] for _ in range(4)]
+        assert w.finished
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TreeSearchWorkload(4, max_depth=0)
+        with pytest.raises(ValueError):
+            TreeSearchWorkload(4, child_probs=(0.5, 0.1))
+        with pytest.raises(ValueError):
+            TreeSearchWorkload(4, mix_rate=2.0)

@@ -1,0 +1,139 @@
+"""Tests for the baseline balancers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GlobalAverageOracle,
+    GradientModel,
+    NoBalance,
+    RSU,
+    RandomScatter,
+    run_baseline,
+)
+from repro.network import Torus2D
+from repro.workload import ConstantWorkload, OneProducer, UniformRandom
+
+
+class TestNoBalance:
+    def test_loads_follow_actions(self):
+        b = NoBalance(4, rng=0)
+        b.step(np.array([1, 1, 0, 0]))
+        b.step(np.array([1, -1, 0, -1]))
+        assert b.l.tolist() == [2, 0, 0, 0]
+        assert b.counters.starved == 1
+
+    def test_never_migrates(self):
+        res = run_baseline(NoBalance(8, rng=0), UniformRandom(8, 0.7, 0.2), 50, seed=1)
+        assert res.packets_migrated == 0
+        assert res.total_ops == 0
+
+
+class TestRandomScatter:
+    def test_conserves_total(self):
+        b = RandomScatter(6, rng=0)
+        for _ in range(30):
+            b.step(np.ones(6, dtype=np.int64))
+        assert b.l.sum() == 30 * 6
+
+    def test_high_variance_despite_uniform_expectation(self):
+        """Section 5's point: expectations balanced, variation huge."""
+        finals = []
+        for seed in range(60):
+            b = RandomScatter(8, rng=seed)
+            for _ in range(20):
+                b.step(np.ones(8, dtype=np.int64))
+            finals.append(b.l.copy())
+        finals = np.asarray(finals, dtype=float)
+        mean_per_proc = finals.mean(axis=0)
+        # expectations roughly uniform...
+        assert mean_per_proc.std() / mean_per_proc.mean() < 0.5
+        # ...but within a run the load is wildly uneven (CV ~ 1, versus
+        # ~0 for the paper's algorithm at the same workload)
+        per_run_cv = finals.std(axis=1) / finals.mean(axis=1)
+        assert per_run_cv.mean() > 0.7
+
+    def test_counts_migrations(self):
+        b = RandomScatter(4, rng=1)
+        b.step(np.ones(4, dtype=np.int64))
+        b.step(np.zeros(4, dtype=np.int64))
+        assert b.packets_migrated > 0
+
+
+class TestRSU:
+    def test_balances_one_producer(self):
+        res = run_baseline(RSU(16, rng=2), OneProducer(16, 1.0), 400, seed=3)
+        final = res.loads[-1]
+        assert final.max() <= 3 * final.mean() + 2
+
+    def test_threshold_respected(self):
+        b = RSU(2, threshold=5, rng=0)
+        b.l = np.array([6, 2], dtype=np.int64)
+        for _ in range(20):
+            b._balance()
+        assert b.l.tolist() == [6, 2]  # diff 4 <= threshold
+
+    def test_pair_conserves(self):
+        b = RSU(8, rng=4)
+        for _ in range(50):
+            b.step(np.ones(8, dtype=np.int64))
+        assert b.l.sum() == 400
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            RSU(4, threshold=0)
+
+
+class TestGradient:
+    def test_packets_flow_downhill(self):
+        topo = Torus2D(16)
+        b = GradientModel(topo, low_watermark=0, high_watermark=2, rng=0)
+        w = OneProducer(16, 1.0)
+        res = run_baseline(b, w, 200, seed=5)
+        final = res.loads[-1]
+        assert final.max() < 200  # producer did shed load
+        assert b.packets_migrated > 0
+
+    def test_no_flow_when_flat(self):
+        topo = Torus2D(9)
+        b = GradientModel(topo, low_watermark=1, high_watermark=3, rng=0)
+        b.l = np.full(9, 2, dtype=np.int64)
+        b._balance()
+        assert (b.l == 2).all()
+
+    def test_watermark_validation(self):
+        with pytest.raises(ValueError):
+            GradientModel(Torus2D(9), low_watermark=3, high_watermark=2)
+
+    def test_one_packet_per_tick_per_sender(self):
+        topo = Torus2D(9)
+        b = GradientModel(topo, low_watermark=0, high_watermark=1, rng=0)
+        b.l = np.array([10, 0, 0, 0, 0, 0, 0, 0, 0], dtype=np.int64)
+        b._balance()
+        assert b.l[0] == 9  # exactly one moved
+
+
+class TestOracle:
+    def test_spread_at_most_one(self):
+        res = run_baseline(
+            GlobalAverageOracle(8, rng=0), UniformRandom(8, 0.8, 0.1), 100, seed=6
+        )
+        for row in res.loads[1:]:
+            assert row.max() - row.min() <= 1
+
+    def test_conserves(self):
+        b = GlobalAverageOracle(5, rng=1)
+        b.step(np.array([1, 1, 1, 0, 0]))
+        assert b.l.sum() == 3
+
+
+class TestRunBaseline:
+    def test_meta_and_shapes(self):
+        res = run_baseline(NoBalance(4, rng=0), ConstantWorkload([1, 0, 0, 0]), 10, seed=0)
+        assert res.loads.shape == (11, 4)
+        assert res.meta["balancer"] == "NoBalance"
+        assert res.steps == 10
+
+    def test_n_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            run_baseline(NoBalance(4, rng=0), ConstantWorkload([1, 0]), 5)

@@ -1,0 +1,113 @@
+"""Tests for the diffusion and work-stealing baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Diffusion, WorkStealing, run_baseline
+from repro.network import Hypercube, Ring, Torus2D
+from repro.workload import OneProducer, UniformRandom
+
+
+class TestDiffusion:
+    def test_conserves_load(self):
+        b = Diffusion(Torus2D(16), rng=0)
+        rng = np.random.default_rng(1)
+        injected = 0
+        for _ in range(100):
+            a = (rng.random(16) < 0.6).astype(np.int64)
+            injected += int(a.sum())
+            b.step(a)
+        assert int(b.l.sum()) == injected
+        assert (b.l >= 0).all()
+
+    def test_flattens_one_producer(self):
+        res = run_baseline(
+            Diffusion(Hypercube(4), rng=0), OneProducer(16, 1.0), 400, seed=2
+        )
+        final = res.loads[-1]
+        assert final.max() <= 3 * final.mean() + 3
+
+    def test_spectral_gap_effect(self):
+        """Hypercube (expander-ish) balances faster than the ring."""
+        def cv_after(topo, steps=300):
+            res = run_baseline(
+                Diffusion(topo, rng=0), OneProducer(topo.n, 1.0), steps, seed=3
+            )
+            f = res.loads[-1].astype(float)
+            return f.std() / max(f.mean(), 1e-9)
+
+        assert cv_after(Hypercube(4)) < cv_after(Ring(16))
+
+    def test_flat_state_is_fixed_point(self):
+        b = Diffusion(Torus2D(9), rng=0)
+        b.l = np.full(9, 7, dtype=np.int64)
+        b._balance()
+        assert (b.l == 7).all()
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            Diffusion(Torus2D(9), alpha=0.5)  # > 1/deg on a degree-4 torus
+        with pytest.raises(ValueError):
+            Diffusion(Torus2D(9), alpha=0.0)
+
+    def test_randomised_rounding_unbiased(self):
+        """Small differences still move in expectation."""
+        moved = 0
+        for seed in range(200):
+            b = Diffusion(Ring(4), alpha=0.25, rng=seed)
+            b.l = np.array([2, 0, 0, 0], dtype=np.int64)
+            b._balance()
+            moved += 2 - int(b.l[0])
+        assert moved > 0  # deterministic floor would never move 0.5 packets
+
+
+class TestWorkStealing:
+    def test_conserves_and_nonnegative(self):
+        b = WorkStealing(8, rng=0)
+        rng = np.random.default_rng(1)
+        total = 0
+        for _ in range(100):
+            a = (rng.random(8) < 0.5).astype(np.int64)
+            total += int(a.sum())
+            b.step(a)
+        assert b.l.sum() == total
+        assert (b.l >= 0).all()
+
+    def test_feeds_starving_processors(self):
+        res = run_baseline(
+            WorkStealing(16, rng=0), OneProducer(16, 1.0), 300, seed=2
+        )
+        # once warm, most processors hold work most of the time
+        warm = res.loads[100:]
+        busy_fraction = (warm > 0).mean()
+        assert busy_fraction > 0.8
+
+    def test_does_not_equalise(self):
+        """Steal-on-empty keeps everyone busy but NOT equal — the
+        paper's distinction between its two application classes."""
+        from repro import LBParams, run_simulation
+
+        n, steps = 16, 300
+        ws = run_baseline(WorkStealing(n, rng=1), OneProducer(n, 1.0), steps, seed=3)
+        lm = run_simulation(
+            n, LBParams(f=1.2, delta=1, C=4), OneProducer(n, 1.0), steps, seed=3
+        )
+        def cv(loads):
+            f = loads[-1].astype(float)
+            return f.std() / max(f.mean(), 1e-9)
+        assert cv(lm.loads) < cv(ws.loads)
+
+    def test_steal_counters(self):
+        b = WorkStealing(4, rng=0)
+        b.l = np.array([0, 20, 0, 0], dtype=np.int64)
+        b._balance()
+        assert b.successful_steals >= 1
+        assert b.packets_migrated > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkStealing(4, steal_fraction=0.0)
+        with pytest.raises(ValueError):
+            WorkStealing(4, attempts=0)
+        with pytest.raises(ValueError):
+            WorkStealing(4, low_watermark=-1)

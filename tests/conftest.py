@@ -1,0 +1,24 @@
+"""Shared fixtures and hypothesis configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Keep property tests fast enough for CI-style runs while exercising a
+# meaningful search space; the "thorough" profile is for local deep runs
+# (select with HYPOTHESIS_PROFILE=thorough).
+settings.register_profile(
+    "default",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("thorough", max_examples=500, deadline=None)
+settings.load_profile("default")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,89 @@
+"""Tests for the adaptive (self-tuning) trigger extension."""
+
+import numpy as np
+import pytest
+
+from repro import Engine, EngineConfig, LBParams
+from repro.core.triggers import AdaptiveTrigger, TriggerDecision
+from repro.rng import RngFactory
+from repro.simulation.driver import Simulation
+from repro.workload import UniformRandom
+
+
+class TestAdaptiveTrigger:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveTrigger(target_rate=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveTrigger(f0=0.9)
+        with pytest.raises(ValueError):
+            AdaptiveTrigger(f0=5.0, f_max=4.0)
+        with pytest.raises(ValueError):
+            AdaptiveTrigger(gain=1.5)
+
+    def test_fire_widens_band(self):
+        t = AdaptiveTrigger(target_rate=0.2, f0=1.5, gain=0.1)
+        f_before = t.f
+        d = t.check(10, 1)  # clear growth fire
+        assert d is TriggerDecision.GROWTH
+        assert t.f > f_before
+
+    def test_silence_tightens_band(self):
+        t = AdaptiveTrigger(target_rate=0.2, f0=1.5, gain=0.1)
+        f_before = t.f
+        d = t.check(10, 10)  # no fire
+        assert d is TriggerDecision.NONE
+        assert t.f < f_before
+
+    def test_clamping(self):
+        t = AdaptiveTrigger(target_rate=0.5, f0=1.02, f_min=1.01, f_max=1.05, gain=0.5)
+        for _ in range(50):
+            t.check(5, 5)  # never fires
+        assert t.f == pytest.approx(1.01)
+
+    def test_rate_statistics(self):
+        t = AdaptiveTrigger()
+        t.check(10, 1)
+        t.check(5, 5)
+        assert t.checks == 2
+        assert t.fires == 1
+        assert t.observed_rate == 0.5
+
+
+class TestAdaptiveEngine:
+    def _run(self, target):
+        n = 24
+        triggers = [
+            AdaptiveTrigger(target_rate=target, f0=2.0, gain=0.05)
+            for _ in range(n)
+        ]
+        factory = RngFactory(1)
+        eng = Engine(
+            EngineConfig(n=n, params=LBParams(f=1.3, delta=2, C=4)),
+            rng=factory.named("e"),
+            triggers=triggers,
+        )
+        sim = Simulation(
+            eng, UniformRandom(n, 0.7, 0.3), workload_rng=factory.named("w")
+        )
+        sim.run(500)
+        eng.assert_invariants()
+        return triggers, eng
+
+    def test_converges_to_target_rate(self):
+        triggers, _ = self._run(0.1)
+        mean_rate = np.mean([t.observed_rate for t in triggers])
+        assert mean_rate == pytest.approx(0.1, abs=0.03)
+
+    def test_rate_knob_controls_ops(self):
+        """Higher target rate -> more balancing operations."""
+        _, lazy = self._run(0.05)
+        _, eager = self._run(0.3)
+        assert eager.total_ops > 1.5 * lazy.total_ops
+
+    def test_trigger_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Engine(
+                EngineConfig(n=4, params=LBParams()),
+                triggers=[AdaptiveTrigger()] * 3,
+            )

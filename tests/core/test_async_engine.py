@@ -1,0 +1,106 @@
+"""Tests for the asynchronous (practical-variant) engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.async_engine import AsyncEngine, ConstantRates, TableRates
+from repro.params import LBParams
+from repro.workload import Section7Workload
+
+
+def make(n=16, f=1.2, delta=2, latency=0.1, seed=0, g=0.7, c=0.3):
+    rates = ConstantRates(np.full(n, g), np.full(n, c))
+    return AsyncEngine(
+        LBParams(f=f, delta=delta, C=4), rates, latency=latency, seed=seed
+    )
+
+
+class TestRateProviders:
+    def test_constant_shapes(self):
+        r = ConstantRates([0.5, 0.5], [0.1, 0.1])
+        g, c = r.rates(3.0)
+        assert g.tolist() == [0.5, 0.5]
+        assert r.n == 2
+
+    def test_constant_validation(self):
+        with pytest.raises(ValueError):
+            ConstantRates([0.5], [0.1, 0.2])
+
+    def test_table_rates_indexing(self):
+        g = np.array([[0.1], [0.9]])
+        c = np.array([[0.2], [0.3]])
+        r = TableRates(g, c)
+        assert r.rates(0.5)[0][0] == 0.1
+        assert r.rates(1.7)[0][0] == 0.9
+        assert r.rates(99.0)[0][0] == 0.9  # clamped to last row
+
+    def test_table_validation(self):
+        with pytest.raises(ValueError):
+            TableRates(np.zeros((2, 3)), np.zeros((3, 2)))
+
+    def test_section7_adapter(self):
+        w = Section7Workload(8, 50, layout_rng=0)
+        r = TableRates(*w.phase_tables)
+        assert r.n == 8
+
+
+class TestAsyncEngine:
+    def test_load_nonnegative_and_snapshots(self):
+        res = make().run(100.0)
+        assert (res.loads >= 0).all()
+        assert res.loads.shape[0] == len(res.times)
+        assert res.times[-1] == pytest.approx(100.0)
+
+    def test_reproducible(self):
+        a = make(seed=5).run(50.0)
+        b = make(seed=5).run(50.0)
+        assert np.array_equal(a.loads, b.loads)
+        assert a.total_ops == b.total_ops
+
+    def test_balances_under_growth(self):
+        res = make(c=0.0, g=1.0).run(200.0)
+        final = res.loads[-1].astype(float)
+        assert final.std() / final.mean() < 0.25
+
+    def test_zero_latency_never_drops(self):
+        """With instantaneous ops no processor is ever busy."""
+        res = make(latency=0.0).run(100.0)
+        assert res.dropped_ops == 0
+        assert res.declined_joins == 0
+
+    def test_latency_causes_declines_not_collapse(self):
+        """The robustness claim: big latency drops many ops but the
+        balance quality survives."""
+        fast = make(latency=0.0, seed=1).run(300.0)
+        slow = make(latency=2.0, seed=1).run(300.0)
+        assert slow.declined_joins > 0
+        assert slow.total_ops < fast.total_ops
+        assert slow.final_cv() < fast.final_cv() + 0.15
+
+    def test_ops_scale_with_f(self):
+        eager = make(f=1.05, seed=2).run(150.0)
+        lazy = make(f=1.9, delta=2, seed=2).run(150.0)
+        assert eager.total_ops > lazy.total_ops
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make(latency=-1.0)
+        rates = ConstantRates(np.full(4, 0.5), np.full(4, 0.5))
+        with pytest.raises(Exception):
+            AsyncEngine(LBParams(delta=4), rates)  # delta >= n
+
+    def test_snapshot_dt(self):
+        rates = ConstantRates(np.full(4, 0.5), np.full(4, 0.2))
+        eng = AsyncEngine(LBParams(), rates, snapshot_dt=5.0, seed=0)
+        res = eng.run(20.0)
+        assert len(res.times) == 5  # 0, 5, 10, 15, 20
+
+    def test_section7_workload_end_to_end(self):
+        w = Section7Workload(16, 100, layout_rng=3)
+        eng = AsyncEngine(
+            LBParams(f=1.1, delta=1, C=4), TableRates(*w.phase_tables),
+            latency=0.2, seed=3,
+        )
+        res = eng.run(100.0)
+        assert res.total_ops > 0
+        assert res.final_cv() < 0.6

@@ -1,0 +1,129 @@
+"""Tests for event tracing and the per-processor view."""
+
+import numpy as np
+import pytest
+
+from repro import Engine, EngineConfig, LBParams
+from repro.core.events import BalanceEvent, interop_times, ops_per_tick
+
+
+def engine_with_events(n=6, f=1.3, delta=2, seed=0) -> Engine:
+    return Engine(
+        EngineConfig(
+            n=n, params=LBParams(f=f, delta=delta, C=4), record_events=True
+        ),
+        rng=seed,
+    )
+
+
+def drive(e: Engine, ticks: int, seed: int = 1) -> None:
+    rng = np.random.default_rng(seed)
+    for _ in range(ticks):
+        e.step((rng.random(e.n) < 0.7).astype(np.int64))
+
+
+class TestEventRecording:
+    def test_events_match_op_count(self):
+        e = engine_with_events()
+        drive(e, 50)
+        assert len(e.events) == e.total_ops
+        assert e.total_ops > 0
+
+    def test_event_fields_consistent(self):
+        e = engine_with_events()
+        drive(e, 30)
+        for ev in e.events:
+            assert ev.participants[0] == ev.initiator
+            assert len(ev.participants) == 3  # delta + 1
+            assert sum(ev.loads_before) == sum(ev.loads_after)  # conserved
+            spread = max(ev.loads_after) - min(ev.loads_after)
+            assert spread <= 1
+            assert ev.migrated == sum(
+                max(a - b, 0) for a, b in zip(ev.loads_after, ev.loads_before)
+            )
+
+    def test_disabled_by_default(self):
+        e = Engine(EngineConfig(n=4, params=LBParams()), rng=0)
+        drive(e, 20)
+        assert e.events == []
+
+    def test_transfers_cover_deltas(self):
+        ev = BalanceEvent(
+            global_time=0,
+            initiator=0,
+            participants=(0, 3, 5),
+            loads_before=(9, 0, 0),
+            loads_after=(3, 3, 3),
+            migrated=6,
+        )
+        moves = ev.transfers()
+        assert sum(amount for _, _, amount in moves) == 6
+        assert all(src == 0 for src, _, _ in moves)
+        assert {dst for _, dst, _ in moves} == {3, 5}
+
+    def test_transfers_empty_when_balanced(self):
+        ev = BalanceEvent(0, 0, (0, 1), (3, 3), (3, 3), 0)
+        assert ev.transfers() == []
+
+    def test_ops_per_tick_histogram(self):
+        e = engine_with_events()
+        drive(e, 25)
+        hist = ops_per_tick(e.events, steps=25)
+        assert hist.sum() == len(e.events)
+
+    def test_interop_times(self):
+        e = engine_with_events()
+        drive(e, 60)
+        some_initiator = e.events[0].initiator
+        gaps = interop_times(e.events, some_initiator)
+        assert (gaps >= 0).all()
+
+
+class TestProcessorView:
+    def test_appendix_variables(self):
+        e = engine_with_events(n=5)
+        drive(e, 40)
+        for i in range(5):
+            v = e.processor(i)
+            assert v.load == int(e.l[i])
+            assert v.own_load == int(e.d[i, i])
+            assert v.debt == int(e.b[i].sum())
+            assert v.virtual_load == v.load + v.debt
+            assert v.foreign_load == v.load - v.own_load
+            assert v.local_time == int(e.local_time[i])
+
+    def test_copies_not_views(self):
+        e = engine_with_events(n=4)
+        drive(e, 10)
+        v = e.processor(0)
+        d = v.d
+        d[0] += 100
+        assert e.d[0, 0] != d[0] or d[0] == 100  # engine unchanged
+        assert v.d[0] == int(e.d[0, 0])
+
+    def test_would_trigger_consistent(self):
+        e = engine_with_events(n=4)
+        drive(e, 30)
+        for i in range(4):
+            v = e.processor(i)
+            # after a settled drive, no processor should be mid-trigger
+            # (any fired trigger was serviced inline)
+            assert v.would_trigger() in ("none", "growth", "decrease")
+
+    def test_out_of_range(self):
+        e = engine_with_events(n=4)
+        with pytest.raises(IndexError):
+            e.processor(4)
+
+    def test_repr(self):
+        e = engine_with_events(n=4)
+        assert "ProcessorView(i=2" in repr(e.processor(2))
+
+    def test_can_borrow_respects_capacity(self):
+        e = engine_with_events(n=4)
+        e.d[1, 0] = 5  # foreign packets available
+        e.l[1] = 5
+        assert e.processor(1).can_borrow
+        e.b[1, :] = 0
+        e.b[1, 2] = e.params.C
+        assert not e.processor(1).can_borrow

@@ -1,0 +1,90 @@
+"""Tests for the packet-exact one-processor-generator model."""
+
+import numpy as np
+import pytest
+
+from repro.core.opg import opg_expected_ratio, opg_meanfield_ratio, simulate_opg
+from repro.theory.fixpoint import fix, fix_limit, iterate_G
+
+
+class TestSimulateOPG:
+    def test_total_load_equals_generated(self):
+        res = simulate_opg(8, 1, 1.2, 30, seed=0, initial_load=0)
+        assert res.loads_at_ops[-1].sum() == res.packets_generated
+
+    def test_initial_load_counted(self):
+        res = simulate_opg(8, 1, 1.2, 10, seed=0, initial_load=5)
+        assert res.loads_at_ops[-1].sum() == 40 + res.packets_generated
+
+    def test_history_shape(self):
+        res = simulate_opg(8, 2, 1.3, 15, seed=1)
+        assert res.loads_at_ops.shape == (16, 8)
+        assert res.ops == 15
+
+    def test_loads_nonnegative_and_monotone_total(self):
+        res = simulate_opg(8, 1, 1.1, 40, seed=2)
+        assert (res.loads_at_ops >= 0).all()
+        totals = res.loads_at_ops.sum(axis=1)
+        assert (np.diff(totals) >= 0).all()
+
+    def test_balance_op_equalises_group(self):
+        """After the final op with delta = n-1 all loads differ <= 1."""
+        res = simulate_opg(6, 5, 1.5, 20, seed=3)
+        final = res.loads_at_ops[-1]
+        assert final.max() - final.min() <= 1
+
+    def test_gen_prob_slows_generation(self):
+        fast = simulate_opg(8, 1, 1.2, 20, seed=4, gen_prob=1.0)
+        slow = simulate_opg(8, 1, 1.2, 20, seed=4, gen_prob=0.25)
+        assert slow.steps > fast.steps
+
+    def test_lemma4_generated_at_least_ops(self):
+        """Lemma-4 shape: after m balancing ops, >= m packets were
+        generated (each op needs at least one new packet to re-trigger)."""
+        for f in (1.1, 1.5, 2.4):
+            res = simulate_opg(16, 4, f, 100, seed=5)
+            assert res.packets_generated >= res.ops
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            simulate_opg(1, 1, 1.1, 5)
+        with pytest.raises(ValueError):
+            simulate_opg(8, 8, 1.1, 5)
+        with pytest.raises(ValueError):
+            simulate_opg(8, 1, 0.9, 5)
+        with pytest.raises(ValueError):
+            simulate_opg(8, 1, 1.1, 5, gen_prob=0.0)
+
+    def test_max_steps_guard(self):
+        with pytest.raises(RuntimeError):
+            simulate_opg(8, 1, 1.1, 1000, max_steps=10)
+
+
+class TestExpectedRatio:
+    def test_ratio_positive_and_finite_after_growth(self):
+        ratio = opg_expected_ratio(8, 1, 1.2, 30, runs=30, seed=0, initial_load=10)
+        assert np.isfinite(ratio[1:]).all()
+        assert (ratio[1:] > 0).all()
+
+    def test_packet_model_approaches_fix_with_large_loads(self):
+        """Starting from a large balanced load, integer effects are
+        negligible and the ratio tracks the operator prediction."""
+        n, d, f, t = 16, 1, 1.5, 10
+        ratio = opg_expected_ratio(n, d, f, t, runs=120, seed=1, initial_load=500)
+        theory = iterate_G(n, d, f, t)
+        assert ratio[-1] == pytest.approx(theory[-1], rel=0.05)
+
+
+class TestMeanFieldRatio:
+    def test_matches_operator_iteration(self):
+        n, d, f, t = 32, 1, 1.4, 30
+        sim = opg_meanfield_ratio(n, d, f, t, trials=40_000, seed=0)
+        theory = np.asarray(iterate_G(n, d, f, t))
+        assert np.allclose(sim, theory, rtol=0.01)
+
+    def test_bounded_by_fix_and_limit(self):
+        """Theorem 1 + 2 numerically: ratio <= FIX <= limit."""
+        n, d, f = 64, 2, 2.0
+        sim = opg_meanfield_ratio(n, d, f, 80, trials=30_000, seed=1)
+        assert sim.max() <= fix(n, d, f) * 1.01
+        assert fix(n, d, f) <= fix_limit(d, f)

@@ -1,0 +1,114 @@
+"""Tests for the OPGC model and the section-6 decrease simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.opgc import (
+    expected_decrease_ops,
+    opgc_expected_ratio,
+    simulate_decrease,
+    simulate_opgc,
+)
+from repro.theory.bounds import (
+    decrease_steps_expected,
+    lemma5_lower,
+    lemma5_upper,
+    lemma6_upper,
+)
+from repro.theory.fixpoint import fix
+
+
+class TestSimulateOPGC:
+    def test_phases_run_in_order(self):
+        res = simulate_opgc(8, 1, 1.2, [(1.0, 0.0, 50), (0.0, 1.0, 30)], seed=0)
+        assert res.steps == 80
+
+    def test_directions_recorded(self):
+        res = simulate_opgc(
+            8, 1, 1.2, [(1.0, 0.0, 60), (0.0, 1.0, 60)], seed=1, initial_load=20
+        )
+        assert set(np.unique(res.op_directions)) <= {-1, 1}
+        assert (res.op_directions == 1).any()
+        assert (res.op_directions == -1).any()
+
+    def test_consume_requires_load(self):
+        res = simulate_opgc(4, 1, 1.1, [(0.0, 1.0, 50)], seed=2, initial_load=0)
+        # nothing to consume, nothing happens
+        assert res.loads_at_ops[-1].sum() == 0
+
+    def test_loads_never_negative(self):
+        res = simulate_opgc(
+            6, 2, 1.3, [(0.5, 0.5, 200)], seed=3, initial_load=3
+        )
+        assert (res.loads_at_ops >= 0).all()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            simulate_opgc(1, 1, 1.1, [(1.0, 0.0, 10)])
+        with pytest.raises(ValueError):
+            simulate_opgc(8, 1, 0.5, [(1.0, 0.0, 10)])
+
+
+class TestTheorem3Empirically:
+    def test_ratio_within_bounds_through_phases(self):
+        """Generate, then consume: the expected-load ratio stays within
+        [FIX(n,d,1/f), FIX(n,d,f)] (with slack f for mid-trigger drift
+        — the paper's Theorem-4 proof adds exactly this factor)."""
+        n, d, f = 16, 1, 1.4
+        phases = [(1.0, 0.0, 300), (0.0, 1.0, 200)]
+        prod, oth = opgc_expected_ratio(
+            n, d, f, phases, runs=80, initial_load=400, seed=0
+        )
+        ratio = prod[50:] / oth[50:]
+        hi = fix(n, d, f) * f
+        lo = fix(n, d, 1 / f) / f
+        assert ratio.max() <= hi * 1.03
+        assert ratio.min() >= lo * 0.97
+
+
+class TestDecreaseSimulation:
+    def test_counts_consumption(self):
+        res = simulate_decrease(100, 50, 16, 1, 1.2, seed=0)
+        assert res.consumed == 50
+        assert res.ops >= 1
+        assert res.steps >= 50
+
+    def test_measured_within_lemma5_bounds(self):
+        x, c, n, d, f = 1000, 500, 64, 1, 1.1
+        measured = expected_decrease_ops(x, c, n, d, f, runs=20, seed=1)
+        lo = lemma5_lower(x, c, n, d, f)
+        hi = lemma5_upper(x, c, n, d, f)
+        assert lo - 1 <= measured
+        assert hi is not None and measured <= hi + 1
+
+    def test_lemma6_tighter_and_respected(self):
+        x, c, n, d, f = 1000, 500, 64, 1, 1.1
+        measured = expected_decrease_ops(x, c, n, d, f, runs=20, seed=2)
+        l6 = lemma6_upper(x, c, n, d, f)
+        hi = lemma5_upper(x, c, n, d, f)
+        assert l6 is not None and hi is not None and l6 <= hi
+        assert measured <= l6 + 1.5
+
+    def test_matches_expected_model(self):
+        x, c, n, d, f = 1000, 500, 64, 4, 1.1
+        measured = expected_decrease_ops(x, c, n, d, f, runs=20, seed=3)
+        model = decrease_steps_expected(x, c, n, d, f)
+        assert model is not None
+        assert abs(measured - model) <= 2
+
+    def test_f_sensitivity(self):
+        """More aggressive trigger factor -> far fewer operations."""
+        slow = expected_decrease_ops(1000, 500, 32, 1, 1.05, runs=10, seed=4)
+        fast = expected_decrease_ops(1000, 500, 32, 1, 1.8, runs=10, seed=4)
+        assert fast < slow / 3
+
+    def test_scale_invariance(self):
+        a = expected_decrease_ops(1000, 500, 32, 1, 1.2, runs=15, seed=5)
+        b = expected_decrease_ops(4000, 2000, 32, 1, 1.2, runs=15, seed=5)
+        assert abs(a - b) <= 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_decrease(1, 1, 8, 1, 1.1)
+        with pytest.raises(ValueError):
+            simulate_decrease(10, 10, 8, 1, 1.1)

@@ -1,0 +1,81 @@
+"""Tests for the factor-f trigger policy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.triggers import FactorTrigger, TriggerDecision
+
+
+class TestGuardedMode:
+    def test_idle_zero_state_never_triggers(self):
+        t = FactorTrigger(1.1)
+        assert t.check(0, 0) is TriggerDecision.NONE
+
+    def test_first_packet_triggers_growth(self):
+        t = FactorTrigger(1.5)
+        assert t.check(1, 0) is TriggerDecision.GROWTH
+
+    def test_growth_threshold(self):
+        t = FactorTrigger(1.5)
+        assert t.check(15, 10) is TriggerDecision.GROWTH  # 15 >= 15
+        assert t.check(14, 10) is TriggerDecision.NONE
+
+    def test_decrease_threshold(self):
+        t = FactorTrigger(2.0)
+        assert t.check(5, 10) is TriggerDecision.DECREASE  # 5 <= 5
+        assert t.check(6, 10) is TriggerDecision.NONE
+
+    def test_decrease_to_zero(self):
+        t = FactorTrigger(1.1)
+        assert t.check(0, 3) is TriggerDecision.DECREASE
+
+    def test_f_one_any_change_triggers(self):
+        t = FactorTrigger(1.0)
+        assert t.check(11, 10) is TriggerDecision.GROWTH
+        assert t.check(9, 10) is TriggerDecision.DECREASE
+        assert t.check(10, 10) is TriggerDecision.NONE
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FactorTrigger(1.1).check(-1, 0)
+
+    def test_f_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            FactorTrigger(0.99)
+
+    @given(
+        f=st.floats(1.0, 4.0),
+        own=st.integers(0, 1000),
+        old=st.integers(0, 1000),
+    )
+    def test_never_both_and_requires_change(self, f, own, old):
+        decision = FactorTrigger(f).check(own, old)
+        if decision is TriggerDecision.GROWTH:
+            assert own > old
+        elif decision is TriggerDecision.DECREASE:
+            assert own < old
+        else:
+            # no trigger: the load really is inside the (1/f, f) band,
+            # or the processor is in the idle zero state
+            if old > 0 and own > 0:
+                assert old / f < own < f * old or own == old or (
+                    own < f * old and own > old / f
+                )
+
+    @given(own=st.integers(0, 100), old=st.integers(0, 100))
+    def test_truthiness(self, own, old):
+        d = FactorTrigger(1.3).check(own, old)
+        assert bool(d) == (d is not TriggerDecision.NONE)
+
+
+class TestStrictMode:
+    def test_zero_state_triggers_forever(self):
+        """The paper's literal rule degenerates at l_old = 0 — this is
+        why the guarded mode exists (DESIGN.md, decision 1)."""
+        t = FactorTrigger(1.5, strict=True)
+        assert t.check(0, 0) is TriggerDecision.GROWTH
+
+    def test_equal_loads_trigger_at_f1(self):
+        t = FactorTrigger(1.0, strict=True)
+        assert t.check(10, 10) is TriggerDecision.GROWTH

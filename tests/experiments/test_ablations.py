@@ -1,0 +1,124 @@
+"""Tests for the ablation drivers (A1/A2) and random-walk selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import RandomWalkSelector
+from repro.experiments.ablations import (
+    _torus_for,
+    baseline_comparison,
+    locality_study,
+)
+from repro.network import Hypercube, Ring
+
+
+class TestRandomWalkSelector:
+    def test_contract(self, rng):
+        sel = RandomWalkSelector(Hypercube(4), walk_length=3)
+        for i in range(16):
+            picks = sel.select(i, 3, rng)
+            assert picks.shape == (3,)
+            assert i not in picks
+            assert len(np.unique(picks)) == 3
+
+    def test_long_walks_approach_uniform_on_expander(self):
+        """Lazy walks mix past the hypercube's bipartition: all 15
+        other nodes are reached with comparable frequency."""
+        rng = np.random.default_rng(0)
+        topo = Hypercube(4)
+        sel = RandomWalkSelector(topo, walk_length=24)
+        counts = np.zeros(16)
+        for _ in range(8000):
+            counts[sel.select(0, 1, rng)] += 1
+        freq = counts[1:] / counts[1:].sum()
+        assert freq.min() > 0.02  # every node reachable (laziness!)
+        assert freq.max() < 3 * freq.min()
+
+    def test_short_walks_stay_local_on_ring(self):
+        rng = np.random.default_rng(1)
+        topo = Ring(32)
+        sel = RandomWalkSelector(topo, walk_length=2)
+        for _ in range(200):
+            (pick,) = sel.select(0, 1, rng).tolist()
+            assert topo.hop_cost(0, pick) <= 2
+
+    def test_fallback_fills_on_tiny_graph(self, rng):
+        sel = RandomWalkSelector(Ring(3), walk_length=1, max_retries=1)
+        picks = sel.select(0, 2, rng)
+        assert sorted(picks.tolist()) == [1, 2]
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            RandomWalkSelector(Ring(8), walk_length=0)
+        sel = RandomWalkSelector(Ring(8), walk_length=2)
+        with pytest.raises(ValueError):
+            sel.select(0, 8, rng)
+
+    def test_engine_integration(self):
+        from repro import Engine, EngineConfig, LBParams
+
+        topo = Hypercube(3)
+        e = Engine(
+            EngineConfig(n=8, params=LBParams(f=1.2, delta=2, C=4)),
+            rng=0,
+            selector=RandomWalkSelector(topo, walk_length=4),
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            e.step((rng.random(8) < 0.7).astype(np.int64))
+        e.assert_invariants()
+        assert e.total_ops > 0
+
+
+class TestTorusFactory:
+    def test_square(self):
+        t = _torus_for(64)
+        assert t.n == 64 and t.rows == 8
+
+    def test_rectangular(self):
+        t = _torus_for(32)
+        assert t.n == 32 and t.rows in (4, 8) or t.rows * t.cols == 32
+
+    def test_prime_rejected(self):
+        with pytest.raises(ValueError):
+            _torus_for(13)
+
+
+class TestAblationDrivers:
+    @pytest.fixture(scope="class")
+    def a1(self):
+        return baseline_comparison(n=16, steps=150, seed=0)
+
+    def test_baseline_rows_present(self, a1):
+        for name in (
+            "Lüling-Monien",
+            "RSU",
+            "work stealing",
+            "random scatter",
+            "global oracle",
+            "no balancing",
+        ):
+            assert name in a1.rows
+
+    def test_baseline_ordering(self, a1):
+        """LM beats the decentralised baselines, far below scatter and
+        no-balance (absolute CV is loose at this small scale: mean
+        loads of ~5 packets quantise hard)."""
+        lm = a1.cv("Lüling-Monien")
+        assert lm < 0.35
+        assert lm < a1.cv("RSU")
+        assert lm < a1.cv("work stealing")
+        assert lm < a1.cv("random scatter") / 3
+        assert lm < a1.cv("no balancing") / 2
+
+    def test_baseline_render(self, a1):
+        out = a1.render()
+        assert "final CV" in out and "oracle" in out
+
+    def test_locality_small(self):
+        res = locality_study(n=16, steps=120, seed=1, walk_lengths=(2,))
+        assert "global random (paper)" in res.rows
+        assert "torus walk-2" in res.rows
+        # radius-1 pools must be cheapest in hops
+        assert res.rows["torus radius-1"][3] <= res.rows["global random (paper)"][3]
+        assert "hops/packet" in res.render()

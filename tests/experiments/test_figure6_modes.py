@@ -1,0 +1,42 @@
+"""Figure 6 computation modes agree with each other."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure6
+
+
+class TestFigure6Modes:
+    def test_moments_mode_instant_and_exact(self):
+        """mode='moments' needs no trials and matches MC."""
+        kw = dict(deltas=(1, 2), fs=(1.1,), ns=(4, 8), t=30, seed=0)
+        exact = figure6(mode="moments", **kw)
+        mc = figure6(mode="exact", trials=40_000, **kw)
+        for key in exact.surfaces:
+            a, b = exact.surfaces[key], mc.surfaces[key]
+            mask = ~np.isnan(a)
+            assert np.allclose(a[mask], b[mask], atol=0.02)
+
+    def test_moments_mode_full_sweep_fast(self):
+        """The whole paper-scale Figure 6 in moments mode is cheap."""
+        import time
+
+        t0 = time.perf_counter()
+        res = figure6(mode="moments", t=150, seed=0)
+        assert time.perf_counter() - t0 < 5.0
+        # full shape assertions at zero sampling noise
+        for delta in (1, 2, 4):
+            a = res.final_vd(delta, 1.1)
+            b = res.final_vd(delta, 1.2)
+            mask = ~np.isnan(a)
+            # f raises VD everywhere (tolerance: deterministic configs
+            # like delta = n-1 give VD = 0 up to float rounding)
+            assert (b[mask] >= a[mask] - 1e-6).all()
+
+    def test_relaxed_vs_exact_same_order_of_magnitude(self):
+        kw = dict(deltas=(2,), fs=(1.2,), ns=(6,), t=25, seed=1, trials=20_000)
+        relaxed = figure6(mode="relaxed", **kw)
+        exact = figure6(mode="exact", **kw)
+        a = relaxed.surfaces[(2, 1.2)][0, -1]
+        b = exact.surfaces[(2, 1.2)][0, -1]
+        assert abs(a - b) < 0.1

@@ -1,0 +1,111 @@
+"""Tests for the figure/table regenerators (small-scale smoke + shape)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure6, figure7, figure9
+from repro.experiments.tables import (
+    lemma4_table,
+    lemma56_table,
+    table1,
+    theorem12_table,
+    theorem3_table,
+)
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def small(self):
+        return figure6(
+            deltas=(1, 2), fs=(1.1, 1.2), ns=(3, 5, 10), t=40, trials=4000, seed=0
+        )
+
+    def test_surfaces_keys(self, small):
+        assert set(small.surfaces) == {(1, 1.1), (1, 1.2), (2, 1.1), (2, 1.2)}
+
+    def test_surface_shape(self, small):
+        assert small.surfaces[(1, 1.1)].shape == (3, 41)
+
+    def test_vd_small_in_general(self, small):
+        """The paper's headline: VD is small (< ~0.6 everywhere)."""
+        for surf in small.surfaces.values():
+            assert np.nanmax(surf) < 0.8
+
+    def test_vd_larger_for_larger_f(self, small):
+        a = np.nanmean(small.surfaces[(1, 1.1)][:, -1])
+        b = np.nanmean(small.surfaces[(1, 1.2)][:, -1])
+        assert b > a
+
+    def test_delta_ge_n_is_nan(self):
+        res = figure6(deltas=(4,), fs=(1.1,), ns=(3, 8), t=10, trials=500, seed=0)
+        assert np.isnan(res.surfaces[(4, 1.1)][0]).all()
+        assert not np.isnan(res.surfaces[(4, 1.1)][1]).any()
+
+    def test_render_and_csv(self, small, tmp_path):
+        out = small.render()
+        assert "delta=1 f=1.1" in out
+        paths = small.to_csv(tmp_path)
+        assert len(paths) == 4
+        assert all(p.exists() for p in paths)
+
+
+class TestQualityFigures:
+    @pytest.fixture(scope="class")
+    def fig7_small(self):
+        return figure7(fs=(1.1,), runs=2, seed=0)
+
+    def test_envelope_kind_renders_chart(self, fig7_small):
+        out = fig7_small.render()
+        assert "Balancing quality, delta=1" in out
+        assert "max" in out and "min" in out
+
+    def test_csv_export(self, fig7_small, tmp_path):
+        paths = fig7_small.to_csv(tmp_path, stem="fig7")
+        assert any("envelope" in p.name for p in paths)
+        assert any("distribution" in p.name for p in paths)
+
+    def test_figure9_distribution_render(self):
+        fig = figure9(fs=(1.8,), runs=2, seed=1)
+        out = fig.render()
+        assert "Distribution, delta=1" in out
+        assert "tick" in out
+
+
+class TestTables:
+    def test_theorem12_within_bounds(self):
+        t = theorem12_table(
+            grid=((16, 1, 1.1), (32, 2, 1.5)), t=40, trials=20_000, seed=0
+        )
+        for n, delta, f, sim, g_t, fx, limit in t.rows:
+            assert sim == pytest.approx(g_t, rel=0.02)
+            assert g_t <= fx + 1e-9
+            assert fx <= limit + 1e-9
+
+    def test_theorem3_orders(self):
+        t = theorem3_table()
+        for _, _, _, lo, hi, lo_inf, hi_inf in t.rows:
+            assert lo_inf <= lo <= 1 <= hi <= hi_inf
+
+    def test_table1_structure(self):
+        tbl = table1(c_values=(4, 8), runs=2, seed=0)
+        rows = dict(tbl.rows())
+        assert len(rows["total_borrow"]) == 2
+        # total borrow roughly constant in C; remote borrow decreasing
+        assert rows["remote_borrow"][0] >= rows["remote_borrow"][1]
+
+    def test_lemma4_all_pass(self):
+        t = lemma4_table(n_ops=50, seed=0)
+        for row in t.rows:
+            assert row[-1] is True  # generated >= m
+
+    def test_lemma56_bounds_hold(self):
+        t = lemma56_table(
+            grid=((1000, 500, 32, 1, 1.2),), runs=5, seed=0
+        )
+        (row,) = t.rows
+        x, c, n, d, f, measured, lo, hi, l6, model = row
+        assert lo - 1 <= measured <= (hi if hi is not None else measured) + 1
+        assert model is not None
+
+    def test_render(self):
+        assert "FIX" in theorem3_table().render()

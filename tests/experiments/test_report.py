@@ -1,0 +1,91 @@
+"""Tests for the ASCII/CSV reporting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import ascii_bars, ascii_chart, render_table, write_csv
+
+
+class TestAsciiBars:
+    def test_basic_bars(self):
+        out = ascii_bars(np.array([1.0, 2.0, 4.0]))
+        lines = out.splitlines()
+        assert lines[0].startswith("proc   0")
+        assert lines[2].count("#") > lines[0].count("#")
+
+    def test_whiskers(self):
+        out = ascii_bars(
+            np.array([5.0, 5.0]),
+            lo=np.array([2.0, 4.0]),
+            hi=np.array([8.0, 6.0]),
+        )
+        assert "|" in out and "-" in out
+
+    def test_title_and_label(self):
+        out = ascii_bars(np.array([1.0]), title="T", label="cpu")
+        assert out.startswith("T")
+        assert "cpu   0" in out
+
+    def test_zero_values(self):
+        out = ascii_bars(np.zeros(3))
+        assert "0.0" in out
+
+
+class TestAsciiChart:
+    def test_contains_legend_and_axis(self):
+        out = ascii_chart({"a": np.arange(10)}, title="T")
+        assert "T" in out
+        assert "*=a" in out
+        assert "t: 0 .. 9" in out
+
+    def test_multiple_series_markers(self):
+        out = ascii_chart({"x": np.zeros(5), "y": np.ones(5)})
+        assert "*=x" in out and "o=y" in out
+
+    def test_constant_series_no_crash(self):
+        out = ascii_chart({"flat": np.full(7, 3.0)})
+        assert "flat" in out
+
+    def test_nan_handled(self):
+        arr = np.array([1.0, np.nan, 3.0])
+        out = ascii_chart({"a": arr})
+        assert "a" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+
+
+class TestRenderTable:
+    def test_alignment_and_floats(self):
+        out = render_table(["name", "v"], [["x", 1.23456], ["longer", 2]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in out
+        assert "longer" in out
+
+    def test_none_rendered_as_dash(self):
+        out = render_table(["a"], [[None]])
+        assert "-" in out
+
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        p = write_csv(tmp_path / "x.csv", {"t": [0, 1, 2], "v": [5.0, 6.0, 7.0]})
+        text = p.read_text().strip().splitlines()
+        assert text[0] == "t,v"
+        assert text[1] == "0,5.0"
+        assert len(text) == 4
+
+    def test_unequal_lengths_padded(self, tmp_path):
+        p = write_csv(tmp_path / "y.csv", {"a": [1, 2, 3], "b": [9]})
+        rows = p.read_text().strip().splitlines()
+        assert rows[2] == "2,"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        p = write_csv(tmp_path / "sub" / "dir" / "z.csv", {"a": [1]})
+        assert p.exists()

@@ -1,0 +1,31 @@
+"""Tests for the scaling experiment driver."""
+
+import numpy as np
+
+from repro.experiments.scaling import scaling_experiment
+
+
+class TestScaling:
+    def test_small_sweep(self):
+        res = scaling_experiment(ns=(8, 16), steps=80, runs=2, seed=1)
+        assert res.ns == (8, 16)
+        assert res.rel_spread.shape == (2,)
+        assert (res.rel_spread >= 0).all()
+        assert (res.ops_per_proc_tick > 0).all()
+
+    def test_render(self):
+        res = scaling_experiment(ns=(8,), steps=50, runs=1, seed=0)
+        out = res.render()
+        assert "rel spread" in out and "8" in out
+
+    def test_quality_flat_helper(self):
+        res = scaling_experiment(ns=(8, 16, 32), steps=100, runs=2, seed=2)
+        # just exercises both branches deterministically
+        assert isinstance(res.quality_flat(tolerance=100.0), bool)
+        assert res.quality_flat(tolerance=100.0)
+
+    def test_reproducible(self):
+        a = scaling_experiment(ns=(8,), steps=60, runs=2, seed=3)
+        b = scaling_experiment(ns=(8,), steps=60, runs=2, seed=3)
+        assert np.array_equal(a.rel_spread, b.rel_spread)
+        assert np.array_equal(a.ops_per_proc_tick, b.ops_per_proc_tick)

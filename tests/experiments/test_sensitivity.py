@@ -1,0 +1,58 @@
+"""Tests for the parameter sensitivity sweep."""
+
+import pytest
+
+from repro.experiments.sensitivity import sensitivity_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return sensitivity_sweep(
+        n=16, steps=120, runs=4, seed=0, fs=(1.1, 1.8), deltas=(1, 4), cs=(4,)
+    )
+
+
+class TestSensitivity:
+    def test_grid_respects_provable_domain(self):
+        res = sensitivity_sweep(
+            n=16, steps=60, runs=2, seed=1, fs=(2.5,), deltas=(1, 4), cs=(4,)
+        )
+        # f=2.5 with delta=1 is outside 1 <= f < delta+1: skipped
+        assert all(p.delta == 4 for p in res.points)
+
+    def test_all_points_measured(self, sweep):
+        assert len(sweep.points) == 4
+        for p in sweep.points:
+            assert p.ops_per_run > 0
+            assert p.spread.lo <= p.spread.estimate <= p.spread.hi
+
+    def test_pareto_front_nonempty_and_subset(self, sweep):
+        front = sweep.pareto_front()
+        assert front
+        keys = {p.key for p in sweep.points}
+        assert all(p.key in keys for p in front)
+
+    def test_pareto_front_is_undominated(self, sweep):
+        front = sweep.pareto_front()
+        for p in front:
+            for q in sweep.points:
+                strictly_better = (
+                    q.spread.estimate < p.spread.estimate
+                    and q.migrated_per_run < p.migrated_per_run
+                )
+                assert not strictly_better
+
+    def test_marginals(self, sweep):
+        m = sweep.marginal("delta")
+        assert set(m) == {1, 4}
+        # delta = 4 balances more tightly than delta = 1 on average
+        assert m[4] <= m[1] + 0.1
+
+    def test_marginal_invalid_axis(self, sweep):
+        with pytest.raises(ValueError):
+            sweep.marginal("q")
+
+    def test_render(self, sweep):
+        out = sweep.render()
+        assert "Pareto" in out
+        assert "±" in out

@@ -1,0 +1,138 @@
+"""Integration tests: whole-system behaviour against the paper's claims.
+
+These cross module boundaries on purpose: engine + workload + metrics +
+theory together, at reduced (but not toy) scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LBParams, run_simulation
+from repro.baselines import NoBalance, RandomScatter, run_baseline
+from repro.metrics.stats import imbalance_factor
+from repro.theory.bounds import theorem4_bound
+from repro.workload import (
+    AdversarialFlipFlop,
+    BurstyHotspot,
+    OneProducer,
+    ProducerConsumerSplit,
+    Section7Workload,
+    UniformRandom,
+)
+from repro.workload.trace import TraceRecorder
+
+
+class TestBalanceQualityAcrossWorkloads:
+    """Theorem 4's promise is workload-independent — check a spectrum."""
+
+    @pytest.mark.parametrize(
+        "workload_factory",
+        [
+            lambda n: UniformRandom(n, 0.7, 0.3),
+            lambda n: OneProducer(n, 1.0, 0.02),
+            lambda n: ProducerConsumerSplit(n, gen=0.9, consume=0.5),
+            lambda n: BurstyHotspot(n, period=40, consume=0.02),
+            lambda n: AdversarialFlipFlop(n, half_period=30),
+        ],
+        ids=["uniform", "one-producer", "split", "bursty", "flipflop"],
+    )
+    def test_imbalance_stays_bounded(self, workload_factory):
+        n = 24
+        params = LBParams(f=1.1, delta=2, C=4)
+        res = run_simulation(
+            n, params, workload_factory(n), steps=300, seed=7
+        )
+        # measure once the system carries noticeable load
+        loaded = res.mean_load > 5
+        if not loaded.any():
+            pytest.skip("workload produced too little load to measure")
+        bound = theorem4_bound(n, params.delta, params.f)
+        for t in np.nonzero(loaded)[0]:
+            imb = imbalance_factor(res.loads[t])
+            # Theorem 4: E(l_i) <= bound * (E(l_j) + C); empirically per
+            # run we allow the same additive slack plus stochastic noise
+            mean = res.loads[t].mean()
+            assert res.loads[t].max() <= bound * (mean + params.C) + 3
+
+    def test_scalability_same_quality_at_sizes(self):
+        """The factor between loads is independent of n (the paper's
+        'independent of the network size')."""
+        final_imbalances = []
+        for n in (8, 32, 128):
+            res = run_simulation(
+                n,
+                LBParams(f=1.2, delta=2, C=4),
+                UniformRandom(n, 0.8, 0.2),
+                steps=200,
+                seed=11,
+            )
+            final_imbalances.append(imbalance_factor(res.loads[-1]))
+        # quality does not degrade with size
+        assert max(final_imbalances) < 1.5
+        assert final_imbalances[2] < final_imbalances[0] * 1.3 + 0.2
+
+
+class TestAgainstBaselines:
+    def test_beats_no_balance_on_one_producer(self):
+        n, steps = 16, 300
+        rec = TraceRecorder(OneProducer(n, 1.0))
+        lm = run_simulation(
+            n, LBParams(f=1.2, delta=1, C=4), rec, steps=steps, seed=3
+        )
+        trace = rec.trace()
+        nb = run_baseline(NoBalance(n, rng=0), trace, steps, seed=4)
+        assert lm.loads[-1].sum() == nb.loads[-1].sum()  # same packets
+        assert imbalance_factor(lm.loads[-1]) < 2
+        assert imbalance_factor(nb.loads[-1]) > 5  # all on proc 0
+
+    def test_lower_variance_than_random_scatter(self):
+        """Section 5's motivation quantified: same expected balance,
+        vastly lower per-run dispersion."""
+        n, steps, runs = 12, 120, 15
+        lm_cv, rs_cv = [], []
+        for seed in range(runs):
+            w1 = UniformRandom(n, 0.8, 0.0)
+            lm = run_simulation(
+                n, LBParams(f=1.1, delta=1, C=4), w1, steps=steps, seed=seed
+            )
+            lm_cv.append(lm.loads[-1].std() / lm.loads[-1].mean())
+            w2 = UniformRandom(n, 0.8, 0.0)
+            rs = run_baseline(RandomScatter(n, rng=seed), w2, steps, seed=seed)
+            rs_cv.append(rs.loads[-1].std() / rs.loads[-1].mean())
+        assert np.mean(lm_cv) < 0.2
+        assert np.mean(rs_cv) > 0.6
+
+
+class TestSection7EndToEnd:
+    def test_full_scale_run_matches_paper_shape(self):
+        """One full 64x500 run: trigger/f/delta shape assertions."""
+        res_11 = run_simulation(
+            64, LBParams(f=1.1, delta=1, C=4),
+            Section7Workload(64, 500, layout_rng=0), steps=500, seed=0,
+        )
+        res_18 = run_simulation(
+            64, LBParams(f=1.8, delta=1, C=4, require_provable=True),
+            Section7Workload(64, 500, layout_rng=0), steps=500, seed=0,
+        )
+        res_d4 = run_simulation(
+            64, LBParams(f=1.1, delta=4, C=4),
+            Section7Workload(64, 500, layout_rng=0), steps=500, seed=0,
+        )
+        # lower f and higher delta give tighter balance (figures 7-10)
+        assert res_d4.final_spread() <= res_11.final_spread()
+        assert res_11.final_spread() <= res_18.final_spread() + 2
+        # smaller f means more balancing activity (the cost trade-off)
+        assert res_11.total_ops > res_18.total_ops
+
+    def test_table1_shape_small(self):
+        """Borrow statistics: remote borrows collapse as C grows."""
+        from repro.experiments.config import QualityConfig
+        from repro.experiments.runner import quality_experiment
+
+        def remote(C):
+            cfg = QualityConfig(n=32, steps=250, f=1.1, delta=1, C=C,
+                                runs=3, seed=5, snapshot_ticks=())
+            res = quality_experiment(cfg)
+            return np.mean([c.remote_borrow for c in res.counters])
+
+        assert remote(4) > remote(32)

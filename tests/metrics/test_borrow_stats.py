@@ -1,0 +1,67 @@
+"""Tests for Table-1 aggregation."""
+
+import pytest
+
+from repro.core.borrowing import BorrowCounters
+from repro.metrics.borrow_stats import BorrowTable, aggregate_counters
+
+
+def counters(**kw) -> BorrowCounters:
+    c = BorrowCounters()
+    for k, v in kw.items():
+        setattr(c, k, v)
+    return c
+
+
+class TestAggregate:
+    def test_mean_over_runs(self):
+        out = aggregate_counters(
+            [counters(total_borrow=10), counters(total_borrow=20)]
+        )
+        assert out["total_borrow"] == 15.0
+
+    def test_all_fields_present(self):
+        out = aggregate_counters([BorrowCounters()])
+        for key in (
+            "total_borrow",
+            "remote_borrow",
+            "borrow_fail",
+            "decrease_sim",
+            "repayments",
+            "starved",
+        ):
+            assert key in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_counters([])
+
+
+class TestBorrowTable:
+    def test_columns_and_rows(self):
+        t = BorrowTable(c_values=[4, 8])
+        t.set_column(4, [counters(total_borrow=100, remote_borrow=4)])
+        t.set_column(8, [counters(total_borrow=110, remote_borrow=1)])
+        rows = dict(t.rows())
+        assert rows["total_borrow"] == [100.0, 110.0]
+        assert rows["remote_borrow"] == [4.0, 1.0]
+
+    def test_undeclared_c_rejected(self):
+        t = BorrowTable(c_values=[4])
+        with pytest.raises(KeyError):
+            t.set_column(16, [BorrowCounters()])
+
+    def test_render_contains_paper_labels(self):
+        t = BorrowTable(c_values=[4])
+        t.set_column(4, [counters(total_borrow=107.7)])
+        out = t.render()
+        for label in ("total borrow", "remote borrow", "borrow fail", "decrease sim"):
+            assert label in out
+        assert "C = 4" in out
+
+    def test_counters_add(self):
+        a = counters(total_borrow=3, decrease_sim=1)
+        a.add(counters(total_borrow=4, starved=2))
+        assert a.total_borrow == 7
+        assert a.decrease_sim == 1
+        assert a.starved == 2

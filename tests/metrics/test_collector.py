@@ -1,0 +1,71 @@
+"""Tests for the multi-run collector (figure 7-10 reductions)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.collector import MultiRunCollector
+
+
+class TestCollector:
+    def test_single_run_envelope(self):
+        c = MultiRunCollector()
+        loads = np.array([[0, 0], [2, 4], [6, 2]])
+        c.add(loads)
+        env = c.envelope()
+        assert env.mean.tolist() == [0.0, 3.0, 4.0]
+        assert env.min.tolist() == [0, 2, 2]
+        assert env.max.tolist() == [0, 4, 6]
+        assert env.runs == 1
+        assert env.steps == 2
+
+    def test_multi_run_envelopes_cover_all_runs(self):
+        c = MultiRunCollector()
+        c.add(np.array([[1, 1], [5, 5]]))
+        c.add(np.array([[1, 1], [0, 10]]))
+        env = c.envelope()
+        assert env.min.tolist() == [1, 0]
+        assert env.max.tolist() == [1, 10]
+        assert env.mean[1] == pytest.approx(5.0)
+
+    def test_snapshots_per_processor(self):
+        c = MultiRunCollector(snapshot_ticks=(1,))
+        c.add(np.array([[0, 0], [2, 4]]))
+        c.add(np.array([[0, 0], [6, 0]]))
+        snap = c.snapshot(1)
+        assert snap["mean"].tolist() == [4.0, 2.0]
+        assert snap["min"].tolist() == [2, 0]
+        assert snap["max"].tolist() == [6, 4]
+
+    def test_snapshot_unregistered_tick(self):
+        c = MultiRunCollector(snapshot_ticks=(1,))
+        c.add(np.zeros((3, 2)))
+        with pytest.raises(KeyError):
+            c.snapshot(2)
+
+    def test_empty_collector(self):
+        with pytest.raises(RuntimeError):
+            MultiRunCollector().envelope()
+
+    def test_shape_mismatch(self):
+        c = MultiRunCollector()
+        c.add(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            c.add(np.zeros((4, 2)))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            MultiRunCollector().add(np.zeros(5))
+
+    def test_streaming_equals_batch(self, rng):
+        """Streaming reduction == stacking all runs then reducing."""
+        runs = [rng.integers(0, 20, size=(6, 4)) for _ in range(5)]
+        c = MultiRunCollector(snapshot_ticks=(3,))
+        for r in runs:
+            c.add(r)
+        stacked = np.stack(runs)  # (runs, ticks, procs)
+        env = c.envelope()
+        assert np.allclose(env.mean, stacked.mean(axis=(0, 2)))
+        assert np.array_equal(env.min, stacked.min(axis=(0, 2)))
+        assert np.array_equal(env.max, stacked.max(axis=(0, 2)))
+        snap = c.snapshot(3)
+        assert np.allclose(snap["mean"], stacked[:, 3, :].mean(axis=0))

@@ -1,0 +1,69 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.confidence import ConfidenceInterval, bootstrap_ci, compare_means
+
+
+class TestBootstrapCI:
+    def test_contains_true_mean_usually(self):
+        """Coverage sanity: the 95% CI of N(5,1) samples contains 5 in
+        most repetitions."""
+        rng = np.random.default_rng(0)
+        hits = 0
+        reps = 60
+        for _ in range(reps):
+            sample = rng.normal(5.0, 1.0, size=40)
+            ci = bootstrap_ci(sample, seed=int(rng.integers(1 << 30)))
+            hits += 5.0 in ci
+        assert hits / reps > 0.8
+
+    def test_ordering(self):
+        ci = bootstrap_ci(np.arange(20, dtype=float), seed=1)
+        assert ci.lo <= ci.estimate <= ci.hi
+
+    def test_narrower_with_more_samples(self):
+        rng = np.random.default_rng(2)
+        small = bootstrap_ci(rng.normal(size=10), seed=0)
+        large = bootstrap_ci(rng.normal(size=1000), seed=0)
+        assert large.width < small.width
+
+    def test_custom_statistic(self):
+        ci = bootstrap_ci([1.0, 2.0, 100.0, 3.0, 2.0], statistic=np.median, seed=0)
+        assert ci.estimate == 2.0
+
+    def test_str(self):
+        s = str(bootstrap_ci([1.0, 2.0, 3.0], seed=0))
+        assert "95% CI" in s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], level=1.5)
+
+    def test_deterministic(self):
+        a = bootstrap_ci([1.0, 5.0, 3.0, 2.0], seed=7)
+        b = bootstrap_ci([1.0, 5.0, 3.0, 2.0], seed=7)
+        assert (a.lo, a.hi) == (b.lo, b.hi)
+
+
+class TestCompareMeans:
+    def test_clear_difference_excludes_zero(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(10.0, 1.0, size=50)
+        b = rng.normal(5.0, 1.0, size=50)
+        ci = compare_means(a, b, seed=0)
+        assert ci.lo > 0  # difference certified
+
+    def test_same_distribution_contains_zero(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(5.0, 1.0, size=50)
+        b = rng.normal(5.0, 1.0, size=50)
+        ci = compare_means(a, b, seed=0)
+        assert 0.0 in ci
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_means([1.0], [1.0, 2.0])

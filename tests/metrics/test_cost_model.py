@@ -1,0 +1,74 @@
+"""Tests for the hop-weighted cost model."""
+
+import numpy as np
+import pytest
+
+from repro import Engine, EngineConfig, LBParams
+from repro.core.events import BalanceEvent
+from repro.core.selection import NeighborhoodSelector
+from repro.metrics.cost_model import price_events
+from repro.network import CompleteGraph, Ring
+
+
+def synthetic_event(src=0, dst=2, amount=3, t=0):
+    return BalanceEvent(
+        global_time=t,
+        initiator=src,
+        participants=(src, dst),
+        loads_before=(2 * amount, 0),
+        loads_after=(amount, amount),
+        migrated=amount,
+    )
+
+
+class TestPriceEvents:
+    def test_complete_graph_one_hop(self):
+        cost = price_events([synthetic_event()], CompleteGraph(4))
+        assert cost.packet_hops == 3  # 3 packets x 1 hop
+        assert cost.control_messages == 2
+        assert cost.control_hops == 2
+        assert cost.mean_hops_per_packet == pytest.approx(1.0)
+
+    def test_ring_distance_weighted(self):
+        # ring of 8: distance 0 -> 4 is 4 hops
+        ev = BalanceEvent(0, 0, (0, 4), (6, 0), (3, 3), 3)
+        cost = price_events([ev], Ring(8))
+        assert cost.packet_hops == 3 * 4
+        assert cost.control_hops == 2 * 4
+
+    def test_empty_trace(self):
+        cost = price_events([], Ring(4))
+        assert cost.operations == 0
+        assert cost.mean_cost_per_op == 0.0
+        assert cost.mean_hops_per_packet == 0.0
+
+    def test_as_dict_keys(self):
+        d = price_events([synthetic_event()], CompleteGraph(4)).as_dict()
+        assert set(d) >= {"operations", "packet_hops", "mean_cost_per_op"}
+
+
+class TestEndToEndCosts:
+    def _run(self, selector, topo, seed=3):
+        e = Engine(
+            EngineConfig(
+                n=topo.n, params=LBParams(f=1.2, delta=1, C=4),
+                record_events=True,
+            ),
+            rng=seed,
+            selector=selector,
+        )
+        rng = np.random.default_rng(seed)
+        for _ in range(150):
+            e.step((rng.random(topo.n) < 0.7).astype(np.int64))
+        return price_events(e.events, topo)
+
+    def test_locality_cuts_hops_on_ring(self):
+        """The point of the cost model: neighbourhood candidates pay
+        1 hop/packet on a ring, global candidates pay ~n/4."""
+        from repro.core.selection import GlobalRandomSelector
+
+        topo = Ring(16)
+        local = self._run(NeighborhoodSelector(topo.neighborhood_pools(1)), topo)
+        global_ = self._run(GlobalRandomSelector(16), topo)
+        assert local.mean_hops_per_packet == pytest.approx(1.0)
+        assert global_.mean_hops_per_packet > 2.0

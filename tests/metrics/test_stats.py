@@ -1,0 +1,63 @@
+"""Tests for scalar balance statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.stats import (
+    empirical_variation_density,
+    imbalance_factor,
+    load_ratio,
+    spread,
+)
+
+
+class TestImbalance:
+    def test_perfectly_balanced(self):
+        assert imbalance_factor(np.array([5, 5, 5])) == pytest.approx(1.0)
+
+    def test_empty_system(self):
+        assert imbalance_factor(np.zeros(4)) == pytest.approx(1.0)
+
+    def test_hotspot(self):
+        v = imbalance_factor(np.array([100, 0, 0, 0]))
+        assert v == pytest.approx(101 / 26)
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=50))
+    def test_at_least_one(self, loads):
+        assert imbalance_factor(np.array(loads)) >= 1.0 - 1e-12
+
+
+class TestLoadRatioSpread:
+    def test_ratio(self):
+        assert load_ratio(np.array([10.0, 5.0]), 0, 1) == pytest.approx(2.0, rel=1e-6)
+
+    def test_ratio_zero_guard(self):
+        assert np.isfinite(load_ratio(np.array([3.0, 0.0]), 0, 1))
+
+    def test_spread(self):
+        assert spread(np.array([3, 9, 5])) == 6
+
+
+class TestEmpiricalVD:
+    def test_constant_sample(self):
+        assert empirical_variation_density(np.full(100, 7.0)) == 0.0
+
+    def test_zero_mean(self):
+        assert empirical_variation_density(np.zeros(10)) == 0.0
+
+    def test_known_value(self):
+        # samples {0, 2}: mean 1, E[x^2] = 2, std = 1 -> VD = 1
+        s = np.array([0.0, 2.0] * 50)
+        assert empirical_variation_density(s) == pytest.approx(1.0)
+
+    def test_matches_mc_estimator(self):
+        """Empirical VD over trials equals the theory module's VD."""
+        from repro.theory.variation import mc_variation_density
+
+        res = mc_variation_density(5, 4, 1.3, trials=30_000, seed=0)
+        # reconstruct from moments for the producer
+        e, e2 = res.e_producer[-1], res.e2_producer[-1]
+        vd = np.sqrt(e2 - e * e) / e
+        assert res.vd_producer[-1] == pytest.approx(vd)

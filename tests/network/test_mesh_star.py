@@ -1,0 +1,48 @@
+"""Tests for the mesh and star topologies."""
+
+import pytest
+
+from repro.network import Mesh2D, Star
+
+
+class TestMesh:
+    def test_degrees_irregular(self):
+        g = Mesh2D(3, 3)
+        assert g.degree(0) == 2   # corner
+        assert g.degree(1) == 3   # edge
+        assert g.degree(4) == 3 + 1  # centre
+
+    def test_diameter(self):
+        assert Mesh2D(3, 4).diameter() == (3 - 1) + (4 - 1)
+
+    def test_no_wraparound(self):
+        g = Mesh2D(3, 3)
+        assert 2 not in g.neighbors(0).tolist()
+
+    def test_line(self):
+        g = Mesh2D(1, 5)
+        assert g.diameter() == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mesh2D(1, 1)
+
+    def test_selector_integration(self, rng):
+        from repro.core.selection import NeighborhoodSelector
+
+        sel = NeighborhoodSelector(Mesh2D(3, 3).neighborhood_pools(1))
+        picks = sel.select(4, 2, rng)
+        assert set(picks.tolist()) <= {1, 3, 5, 7}
+
+
+class TestStar:
+    def test_structure(self):
+        g = Star(6)
+        assert g.degree(0) == 5
+        assert all(g.degree(i) == 1 for i in range(1, 6))
+        assert g.diameter() == 2
+
+    def test_hub_distance(self):
+        g = Star(8)
+        assert g.hop_cost(3, 5) == 2
+        assert g.hop_cost(0, 5) == 1

@@ -1,0 +1,164 @@
+"""Tests for the interconnection topologies."""
+
+import numpy as np
+import pytest
+
+from repro.network import (
+    CompleteGraph,
+    DeBruijn,
+    Hypercube,
+    RandomRegular,
+    Ring,
+    Torus2D,
+)
+
+
+class TestComplete:
+    def test_degrees(self):
+        g = CompleteGraph(6)
+        assert (g.degrees == 5).all()
+        assert g.edge_count() == 15
+        assert g.diameter() == 1
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            CompleteGraph(1)
+
+
+class TestRing:
+    def test_structure(self):
+        g = Ring(8)
+        assert (g.degrees == 2).all()
+        assert g.diameter() == 4
+        assert sorted(g.neighbors(0).tolist()) == [1, 7]
+
+    def test_two_nodes(self):
+        g = Ring(2)
+        assert g.edge_count() == 1
+
+    def test_odd_ring_diameter(self):
+        assert Ring(9).diameter() == 4
+
+
+class TestTorus:
+    def test_square_from_n(self):
+        g = Torus2D(16)
+        assert g.rows == g.cols == 4
+        assert (g.degrees == 4).all()
+
+    def test_rect(self):
+        g = Torus2D(rows=2, cols=5)
+        assert g.n == 10
+        assert g.is_connected()
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            Torus2D(12)
+
+    def test_8x8_diameter(self):
+        assert Torus2D(64).diameter() == 8  # 4 + 4
+
+    def test_wraparound_edges(self):
+        g = Torus2D(rows=3, cols=3)
+        assert 2 in g.neighbors(0).tolist()  # (0,0)-(0,2) wrap
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4, 6])
+    def test_structure(self, dim):
+        g = Hypercube(dim)
+        assert g.n == 2**dim
+        assert (g.degrees == dim).all()
+        assert g.diameter() == dim
+
+    def test_distance_is_hamming(self):
+        g = Hypercube(4)
+        d = g.distances()
+        for u in range(16):
+            for v in range(16):
+                assert d[u, v] == bin(u ^ v).count("1")
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Hypercube(0)
+
+
+class TestDeBruijn:
+    def test_connected_log_diameter(self):
+        g = DeBruijn(6)  # 64 nodes
+        assert g.is_connected()
+        assert g.diameter() <= 6
+        assert g.degrees.max() <= 4
+
+    def test_small(self):
+        assert DeBruijn(2).is_connected()
+
+
+class TestRandomRegular:
+    def test_regular_connected(self):
+        g = RandomRegular(20, 4, seed=0)
+        assert (g.degrees == 4).all()
+        assert g.is_connected()
+
+    def test_reproducible(self):
+        a = RandomRegular(16, 3, seed=7)
+        b = RandomRegular(16, 3, seed=7)
+        for i in range(16):
+            assert np.array_equal(a.neighbors(i), b.neighbors(i))
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(ValueError):
+            RandomRegular(5, 3)
+
+    def test_degree_range(self):
+        with pytest.raises(ValueError):
+            RandomRegular(8, 1)
+        with pytest.raises(ValueError):
+            RandomRegular(8, 8)
+
+
+class TestGenericQueries:
+    def test_neighborhood_pools_radius1(self):
+        g = Ring(6)
+        pools = g.neighborhood_pools(1)
+        assert sorted(pools[0].tolist()) == [1, 5]
+
+    def test_neighborhood_pools_radius2(self):
+        g = Ring(8)
+        pools = g.neighborhood_pools(2)
+        assert sorted(pools[0].tolist()) == [1, 2, 6, 7]
+
+    def test_pools_exclude_self(self):
+        for topo in (Hypercube(3), Torus2D(9), DeBruijn(3)):
+            for i, pool in enumerate(topo.neighborhood_pools(2)):
+                assert i not in pool
+
+    def test_pools_feed_selector(self, rng):
+        from repro.core.selection import NeighborhoodSelector
+
+        g = Hypercube(4)
+        sel = NeighborhoodSelector(g.neighborhood_pools(1))
+        picks = sel.select(0, 2, rng)
+        assert set(picks.tolist()) <= set(g.neighbors(0).tolist())
+
+    def test_hop_cost(self):
+        assert Ring(8).hop_cost(0, 4) == 4
+
+    def test_radius_validation(self):
+        with pytest.raises(ValueError):
+            Ring(6).neighborhood_pools(0)
+
+    def test_distances_against_networkx(self):
+        """Cross-validate BFS distances with networkx (test-only dep)."""
+        import networkx as nx
+
+        g = Torus2D(rows=3, cols=4)
+        G = nx.Graph()
+        for i in range(g.n):
+            for j in g.neighbors(i):
+                G.add_edge(i, int(j))
+        ours = g.distances()
+        theirs = dict(nx.all_pairs_shortest_path_length(G))
+        for u in range(g.n):
+            for v in range(g.n):
+                assert ours[u, v] == theirs[u][v]

@@ -1,0 +1,127 @@
+"""Tests for the knapsack and SAT applications (exact-answer oracles)."""
+
+import pytest
+
+from repro.apps.knapsack import KnapsackApp, KnapsackInstance, dp_knapsack
+from repro.apps.sat import CNF, SatApp, SatTask, brute_force_count
+from repro.params import LBParams
+from repro.runtime import TaskMachine
+
+
+class TestKnapsackInstance:
+    def test_random_shapes(self):
+        inst = KnapsackInstance.random(10, seed=0)
+        assert inst.n_items == 10
+        assert 0 < inst.capacity <= sum(inst.weights)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KnapsackInstance(weights=(1, 2), values=(1,), capacity=5)
+        with pytest.raises(ValueError):
+            KnapsackInstance(weights=(0,), values=(1,), capacity=5)
+        with pytest.raises(ValueError):
+            KnapsackInstance.random(0)
+
+    def test_dp_oracle_simple(self):
+        inst = KnapsackInstance(weights=(2, 3, 4), values=(3, 4, 5), capacity=5)
+        assert dp_knapsack(inst) == 7  # items 0 + 1
+
+
+class TestKnapsackDistributed:
+    @pytest.mark.parametrize("n_items,seed", [(12, 0), (15, 1), (18, 2)])
+    def test_matches_dp(self, n_items, seed):
+        inst = KnapsackInstance.random(n_items, seed=seed)
+        ref = dp_knapsack(inst)
+        app = KnapsackApp(inst)
+        TaskMachine(8, LBParams(f=1.3, delta=2, C=4), app, seed=seed).run()
+        assert app.best_value == ref
+
+    def test_invariant_under_machine_config(self):
+        inst = KnapsackInstance.random(14, seed=3)
+        ref = dp_knapsack(inst)
+        for n_procs, f, delta in [(2, 1.1, 1), (8, 1.8, 2), (16, 1.2, 4)]:
+            app = KnapsackApp(inst)
+            TaskMachine(n_procs, LBParams(f=f, delta=delta, C=4), app, seed=0).run()
+            assert app.best_value == ref
+
+    def test_bound_prunes(self):
+        inst = KnapsackInstance.random(16, seed=4)
+        app = KnapsackApp(inst)
+        TaskMachine(4, LBParams(f=1.2, delta=1, C=4), app, seed=0).run()
+        assert app.pruned > 0
+        assert app.expanded < 2 ** 16  # strictly better than enumeration
+
+    def test_bound_admissible(self):
+        inst = KnapsackInstance.random(12, seed=5)
+        app = KnapsackApp(inst)
+        from repro.apps.knapsack import KnapsackTask
+
+        root = KnapsackTask(idx=0, weight=0, value=0)
+        assert app._upper_bound(root) >= dp_knapsack(inst)
+
+
+class TestCNF:
+    def test_random_3sat_shape(self):
+        cnf = CNF.random_3sat(8, 20, seed=0)
+        assert cnf.n_vars == 8
+        assert len(cnf.clauses) == 20
+        for cl in cnf.clauses:
+            assert len(cl) == 3
+            assert len({abs(l) for l in cl}) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CNF(n_vars=2, clauses=((3,),))
+        with pytest.raises(ValueError):
+            CNF(n_vars=2, clauses=((),))
+        with pytest.raises(ValueError):
+            CNF.random_3sat(2, 5)
+
+    def test_brute_force_tautology(self):
+        cnf = CNF(n_vars=3, clauses=((1, -1, 2),))
+        assert brute_force_count(cnf) == 8
+
+    def test_brute_force_unsat(self):
+        cnf = CNF(n_vars=1, clauses=((1,), (-1,)))
+        assert brute_force_count(cnf) == 0
+
+
+class TestSatDistributed:
+    @pytest.mark.parametrize(
+        "n_vars,n_clauses,seed", [(8, 20, 0), (10, 30, 1), (10, 42, 2)]
+    )
+    def test_model_count_exact(self, n_vars, n_clauses, seed):
+        cnf = CNF.random_3sat(n_vars, n_clauses, seed=seed)
+        ref = brute_force_count(cnf)
+        app = SatApp(cnf)
+        TaskMachine(8, LBParams(f=1.2, delta=1, C=4), app, seed=seed).run()
+        assert app.models == ref
+
+    def test_unsat_counts_zero(self):
+        cnf = CNF(n_vars=3, clauses=((1,), (-1,)))
+        app = SatApp(cnf)
+        TaskMachine(2, LBParams(f=1.2, delta=1, C=4), app, seed=0).run()
+        assert app.models == 0
+        assert app.conflicts > 0
+
+    def test_unit_propagation_preserves_count(self):
+        """Formula with forced chains: propagation must not drop or
+        double models."""
+        # x1 & (x1 -> x2) & (x2 -> x3): models = assignments with
+        # x1=x2=x3=1, x4 free: 2 models over 4 vars
+        cnf = CNF(
+            n_vars=4,
+            clauses=((1,), (-1, 2), (-2, 3)),
+        )
+        assert brute_force_count(cnf) == 2
+        app = SatApp(cnf)
+        TaskMachine(2, LBParams(f=1.2, delta=1, C=4), app, seed=0).run()
+        assert app.models == 2
+
+    def test_lit_state_helper(self):
+        cnf = CNF(n_vars=2, clauses=((1, 2, -1),))
+        app = SatApp(cnf)
+        t = SatTask(assigned_mask=0b01, value_mask=0b01)  # x1 = True
+        assert app._lit_state(t, 1) is True
+        assert app._lit_state(t, -1) is False
+        assert app._lit_state(t, 2) is None

@@ -1,0 +1,131 @@
+"""Tests for the task machine and the real applications.
+
+The headline property: the *result* of the distributed computation is
+exact and independent of every balancing parameter, seed and processor
+count — only the schedule changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    KNOWN_COUNTS,
+    NQueensApp,
+    TSPApp,
+    TSPInstance,
+    brute_force_tsp,
+)
+from repro.params import LBParams
+from repro.runtime import TaskMachine
+
+
+class TestTaskMachine:
+    def test_lockstep_through_full_run(self):
+        app = NQueensApp(6)
+        m = TaskMachine(
+            4, LBParams(f=1.2, delta=1, C=4), app, seed=0, check_lockstep=True
+        )
+        res = m.run()
+        assert m.finished
+        assert res.loads[-1].sum() == 0
+
+    def test_executed_equals_spawned_on_completion(self):
+        app = NQueensApp(6)
+        m = TaskMachine(4, LBParams(f=1.3, delta=2, C=4), app, seed=1)
+        res = m.run()
+        assert res.executed == res.spawned  # every task eventually runs
+
+    def test_max_ticks_guard(self):
+        app = NQueensApp(8)
+        m = TaskMachine(4, LBParams(f=1.2, delta=1, C=4), app, seed=0)
+        with pytest.raises(RuntimeError):
+            m.run(max_ticks=5)
+
+    def test_result_fields(self):
+        app = NQueensApp(5)
+        res = TaskMachine(4, LBParams(), app, seed=2).run()
+        assert res.n == 4
+        assert 0 < res.parallel_efficiency <= 1.0
+        assert res.loads.shape == (res.ticks + 1, 4)
+
+
+class TestNQueensDistributed:
+    @pytest.mark.parametrize("n_queens", [4, 5, 6, 7, 8])
+    def test_counts_exact(self, n_queens):
+        app = NQueensApp(n_queens)
+        TaskMachine(8, LBParams(f=1.2, delta=2, C=4), app, seed=0).run()
+        assert app.solutions == KNOWN_COUNTS[n_queens]
+
+    @pytest.mark.parametrize("n_procs", [2, 5, 16])
+    @pytest.mark.parametrize("f,delta", [(1.1, 1), (1.8, 2)])
+    def test_count_invariant_under_balancing(self, n_procs, f, delta):
+        if delta >= n_procs:
+            pytest.skip("delta must be < n")
+        app = NQueensApp(6)
+        TaskMachine(n_procs, LBParams(f=f, delta=delta, C=4), app, seed=7).run()
+        assert app.solutions == KNOWN_COUNTS[6]
+
+    def test_parallelism_reduces_makespan(self):
+        def ticks(n_procs):
+            app = NQueensApp(7)
+            return TaskMachine(
+                n_procs, LBParams(f=1.2, delta=1, C=4), app, seed=3
+            ).run().ticks
+
+        t_small, t_large = ticks(2), ticks(16)
+        assert t_large < t_small / 2  # real speedup
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NQueensApp(0)
+
+
+class TestTSPDistributed:
+    @pytest.mark.parametrize("n_cities,seed", [(6, 0), (7, 1), (8, 2)])
+    def test_optimum_matches_brute_force(self, n_cities, seed):
+        inst = TSPInstance.random(n_cities, seed=seed)
+        ref, _ = brute_force_tsp(inst)
+        app = TSPApp(inst)
+        TaskMachine(8, LBParams(f=1.3, delta=2, C=4), app, seed=seed).run()
+        assert app.best_length == pytest.approx(ref, abs=1e-9)
+
+    def test_optimum_invariant_under_seeds(self):
+        inst = TSPInstance.random(7, seed=5)
+        lengths = set()
+        for seed in (0, 1, 2):
+            app = TSPApp(inst)
+            TaskMachine(6, LBParams(f=1.2, delta=1, C=4), app, seed=seed).run()
+            lengths.add(round(app.best_length, 12))
+        assert len(lengths) == 1
+
+    def test_pruning_happens(self):
+        inst = TSPInstance.random(8, seed=3)
+        app = TSPApp(inst)
+        TaskMachine(8, LBParams(f=1.3, delta=2, C=4), app, seed=0).run()
+        assert app.pruned > 0
+        # far fewer expansions than the full (n-1)! tree
+        assert app.expanded < 5040 * 8
+
+    def test_best_tour_is_valid_permutation(self):
+        inst = TSPInstance.random(7, seed=4)
+        app = TSPApp(inst)
+        TaskMachine(4, LBParams(f=1.2, delta=1, C=4), app, seed=0).run()
+        assert app.best_tour is not None
+        assert sorted(app.best_tour) == list(range(7))
+        assert app.best_tour[0] == 0
+
+    def test_lower_bound_admissible(self):
+        """The bound never exceeds the true optimal completion."""
+        inst = TSPInstance.random(6, seed=6)
+        ref, _ = brute_force_tsp(inst)
+        app = TSPApp(inst)
+        from repro.apps.tsp import TSPTask
+
+        root_bound = app._lower_bound(TSPTask(tour=(0,), length=0.0))
+        assert root_bound <= ref + 1e-9
+
+    def test_instance_validation(self):
+        with pytest.raises(ValueError):
+            TSPInstance.random(2)
+        with pytest.raises(ValueError):
+            brute_force_tsp(TSPInstance.random(11, seed=0))

@@ -1,0 +1,85 @@
+"""Tests for the simulation driver and result containers."""
+
+import numpy as np
+import pytest
+
+from repro import LBParams, RunResult, Simulation, run_simulation
+from repro.baselines import NoBalance
+from repro.workload import ConstantWorkload, UniformRandom
+
+
+class TestSimulation:
+    def test_tick_advances_and_snapshots(self, rng):
+        sim = Simulation(
+            NoBalance(3, rng=0), ConstantWorkload([1, 0, 0]), workload_rng=rng
+        )
+        sim.tick()
+        sim.tick()
+        assert sim.t == 2
+        assert len(sim.snapshots) == 3
+        assert sim.snapshots[-1].tolist() == [2, 0, 0]
+
+    def test_run_returns_history(self, rng):
+        sim = Simulation(
+            NoBalance(2, rng=0), ConstantWorkload([1, 1]), workload_rng=rng
+        )
+        hist = sim.run(5)
+        assert hist.shape == (6, 2)
+        assert hist[-1].tolist() == [5, 5]
+
+    def test_n_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            Simulation(NoBalance(2, rng=0), ConstantWorkload([1]), workload_rng=rng)
+
+
+class TestRunSimulation:
+    def test_reproducible(self):
+        a = run_simulation(8, LBParams(), UniformRandom(8, 0.5, 0.3), 40, seed=9)
+        b = run_simulation(8, LBParams(), UniformRandom(8, 0.5, 0.3), 40, seed=9)
+        assert np.array_equal(a.loads, b.loads)
+        assert a.total_ops == b.total_ops
+
+    def test_different_seeds_differ(self):
+        a = run_simulation(8, LBParams(), UniformRandom(8, 0.5, 0.3), 40, seed=1)
+        b = run_simulation(8, LBParams(), UniformRandom(8, 0.5, 0.3), 40, seed=2)
+        assert not np.array_equal(a.loads, b.loads)
+
+    def test_meta_populated(self):
+        res = run_simulation(
+            4, LBParams(f=1.2), UniformRandom(4, 0.5, 0.5), 5, seed=0,
+            meta={"tag": "x"},
+        )
+        assert res.meta["f"] == 1.2
+        assert res.meta["workload"] == "UniformRandom"
+        assert res.meta["tag"] == "x"
+
+    def test_strict_trigger_mode_runs(self):
+        res = run_simulation(
+            4, LBParams(f=1.5), UniformRandom(4, 0.6, 0.2), 20, seed=0,
+            strict_trigger=True,
+        )
+        # strict mode balances continuously at zero load — many more ops
+        assert res.total_ops > 0
+
+
+class TestRunResult:
+    def _result(self) -> RunResult:
+        return run_simulation(4, LBParams(), UniformRandom(4, 0.8, 0.1), 30, seed=3)
+
+    def test_series_properties(self):
+        r = self._result()
+        assert r.n == 4
+        assert r.steps == 30
+        assert r.mean_load.shape == (31,)
+        assert (r.min_load <= r.mean_load).all()
+        assert (r.mean_load <= r.max_load).all()
+
+    def test_imbalance_finite_and_ge_one(self):
+        r = self._result()
+        imb = r.imbalance()
+        assert np.isfinite(imb).all()
+        assert (imb >= 1.0 - 1e-9).all()
+
+    def test_final_spread(self):
+        r = self._result()
+        assert r.final_spread() == int(r.loads[-1].max() - r.loads[-1].min())

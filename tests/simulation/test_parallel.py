@@ -1,0 +1,58 @@
+"""Tests for the parallel run executor."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.simulation.parallel import default_jobs, parallel_map
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert list(parallel_map(square, [1, 2, 3], jobs=1)) == [1, 4, 9]
+
+    def test_parallel_preserves_order(self):
+        items = list(range(20))
+        out = list(parallel_map(square, items, jobs=4))
+        assert out == [x * x for x in items]
+
+    def test_single_item_stays_inline(self):
+        assert list(parallel_map(square, [7], jobs=8)) == [49]
+
+    def test_empty(self):
+        assert list(parallel_map(square, [], jobs=4)) == []
+
+
+class TestDefaultJobs:
+    def test_unset_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+
+    def test_explicit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert default_jobs() == 6
+
+    def test_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() >= 1
+
+
+class TestExperimentDeterminism:
+    def test_quality_experiment_serial_equals_parallel(self):
+        from repro.experiments.config import QualityConfig
+        from repro.experiments.runner import quality_experiment
+
+        cfg = QualityConfig(n=8, steps=60, runs=3, seed=4, snapshot_ticks=(30,))
+        a = quality_experiment(cfg, jobs=1)
+        b = quality_experiment(cfg, jobs=2)
+        assert np.array_equal(a.envelope.mean, b.envelope.mean)
+        assert np.array_equal(a.envelope.mean_spread, b.envelope.mean_spread)
+        assert a.mean_ops == b.mean_ops
+        assert [c.as_dict() for c in a.counters] == [
+            c.as_dict() for c in b.counters
+        ]

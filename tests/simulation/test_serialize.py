@@ -1,0 +1,110 @@
+"""Tests for persistence: results, engine checkpoints, traces."""
+
+import numpy as np
+import pytest
+
+from repro import Engine, EngineConfig, LBParams, run_simulation
+from repro.simulation.serialize import (
+    load_engine_state,
+    load_result,
+    load_trace,
+    save_engine_state,
+    save_result,
+    save_trace,
+)
+from repro.workload import UniformRandom
+from repro.workload.trace import RecordedWorkload, TraceRecorder
+
+
+class TestResultRoundTrip:
+    def test_round_trip(self, tmp_path):
+        res = run_simulation(
+            8, LBParams(f=1.2, delta=1, C=4), UniformRandom(8, 0.6, 0.3),
+            steps=40, seed=0, meta={"tag": "x"},
+        )
+        p = save_result(res, tmp_path / "run.npz")
+        back = load_result(p)
+        assert np.array_equal(back.loads, res.loads)
+        assert back.total_ops == res.total_ops
+        assert back.packets_migrated == res.packets_migrated
+        assert back.counters.as_dict() == res.counters.as_dict()
+        assert back.meta["tag"] == "x"
+
+    def test_schema_guard(self, tmp_path):
+        res = run_simulation(
+            4, LBParams(), UniformRandom(4, 0.5, 0.5), steps=5, seed=0
+        )
+        p = save_result(res, tmp_path / "r.npz")
+        with pytest.raises(ValueError):
+            load_trace(p)  # wrong schema
+
+    def test_creates_directories(self, tmp_path):
+        res = run_simulation(
+            4, LBParams(), UniformRandom(4, 0.5, 0.5), steps=5, seed=0
+        )
+        p = save_result(res, tmp_path / "deep" / "dir" / "r.npz")
+        assert p.exists()
+
+
+class TestEngineCheckpoint:
+    def _advance(self, engine, steps, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(steps):
+            engine.step(rng.integers(-1, 2, size=engine.n))
+
+    def test_resume_bit_exact(self, tmp_path):
+        """checkpoint + resume with the same downstream RNG equals an
+        uninterrupted run."""
+        cfg = EngineConfig(n=6, params=LBParams(f=1.3, delta=2, C=4))
+        full = Engine(cfg, rng=1)
+        self._advance(full, 30, seed=9)
+        half = Engine(cfg, rng=1)
+        self._advance(half, 15, seed=9)  # same action stream prefix...
+        p = save_engine_state(half, tmp_path / "ckpt.npz")
+        # ...but resuming requires the same engine RNG state, which the
+        # checkpoint intentionally does not capture; verify instead that
+        # the restored engine is a valid, invariant-satisfying clone
+        restored = load_engine_state(p, rng=123)
+        assert np.array_equal(restored.d, half.d)
+        assert np.array_equal(restored.b, half.b)
+        assert np.array_equal(restored.l, half.l)
+        assert np.array_equal(restored.l_old, half.l_old)
+        assert restored.total_ops == half.total_ops
+        assert restored.counters.as_dict() == half.counters.as_dict()
+        restored.assert_invariants()
+
+    def test_restored_engine_keeps_running(self, tmp_path):
+        cfg = EngineConfig(n=5, params=LBParams(f=1.2, delta=1, C=4))
+        e = Engine(cfg, rng=0)
+        self._advance(e, 20, seed=2)
+        restored = load_engine_state(
+            save_engine_state(e, tmp_path / "c.npz"), rng=7
+        )
+        self._advance(restored, 20, seed=3)
+        restored.assert_invariants()
+
+    def test_config_preserved(self, tmp_path):
+        cfg = EngineConfig(
+            n=4,
+            params=LBParams(f=1.5, delta=2, C=8),
+            refresh_participants=False,
+            strict_trigger=True,
+        )
+        e = Engine(cfg, rng=0)
+        restored = load_engine_state(save_engine_state(e, tmp_path / "c.npz"))
+        assert restored.params.f == 1.5
+        assert restored.params.C == 8
+        assert restored.config.strict_trigger is True
+        assert restored.config.refresh_participants is False
+
+
+class TestTraceRoundTrip:
+    def test_round_trip(self, tmp_path, rng):
+        rec = TraceRecorder(UniformRandom(5, 0.6, 0.4))
+        loads = np.full(5, 3)
+        for t in range(15):
+            rec.actions(t, loads, rng)
+        trace = rec.trace()
+        back = load_trace(save_trace(trace, tmp_path / "t.npz"))
+        assert isinstance(back, RecordedWorkload)
+        assert np.array_equal(back.matrix, trace.matrix)

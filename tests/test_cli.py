@@ -1,0 +1,46 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "table1" in out
+
+    def test_theorem3_runs(self, capsys):
+        assert main(["theorem3"]) == 0
+        out = capsys.readouterr().out
+        assert "FIX" in out
+
+    def test_lemma56_small(self, capsys):
+        assert main(["lemma56", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "measured" in out
+
+    def test_fig6_csv_output(self, tmp_path, capsys, monkeypatch):
+        # shrink the sweep via monkeypatching the default ns for speed
+        import repro.experiments.figures as figs
+
+        monkeypatch.setattr(figs, "FIG6_NS", (3, 5))
+        assert main(["fig6", "--trials", "500", "--out", str(tmp_path)]) == 0
+        assert any(tmp_path.glob("figure6_*.csv"))
+
+    def test_scaling_small(self, capsys, monkeypatch):
+        import repro.experiments.scaling as sc
+
+        orig = sc.scaling_experiment
+        monkeypatch.setattr(
+            sc,
+            "scaling_experiment",
+            lambda runs, seed: orig(ns=(8,), steps=40, runs=1, seed=seed),
+        )
+        assert main(["scaling"]) == 0
+        assert "rel spread" in capsys.readouterr().out
+
+    def test_invalid_command(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

@@ -1,0 +1,88 @@
+"""Tests for repro.rng — reproducibility contracts."""
+
+import numpy as np
+
+from repro.rng import RngFactory, make_rng, spawn_streams
+
+
+class TestMakeRng:
+    def test_int_seed_reproducible(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnStreams:
+    def test_count(self):
+        assert len(spawn_streams(0, 7)) == 7
+
+    def test_streams_differ(self):
+        s = spawn_streams(0, 3)
+        draws = [g.random(4).tolist() for g in s]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_reproducible(self):
+        a = [g.random(3).tolist() for g in spawn_streams(5, 2)]
+        b = [g.random(3).tolist() for g in spawn_streams(5, 2)]
+        assert a == b
+
+
+class TestRngFactory:
+    def test_named_order_independent(self):
+        f1 = RngFactory(9)
+        x = f1.named("workload").random(4)
+        y = f1.named("engine").random(4)
+
+        f2 = RngFactory(9)
+        y2 = f2.named("engine").random(4)
+        x2 = f2.named("workload").random(4)
+        assert np.array_equal(x, x2)
+        assert np.array_equal(y, y2)
+
+    def test_named_distinct_keys_distinct_streams(self):
+        f = RngFactory(0)
+        assert not np.array_equal(f.named("a").random(8), f.named("b").random(8))
+
+    def test_named_mixed_key_types(self):
+        f = RngFactory(0)
+        a = f.named("run", 3).random(4)
+        b = f.named("run", 4).random(4)
+        assert not np.array_equal(a, b)
+
+    def test_anonymous_streams_advance(self):
+        f = RngFactory(0)
+        assert not np.array_equal(f.stream().random(4), f.stream().random(4))
+
+    def test_child_factory_isolated(self):
+        f = RngFactory(1)
+        c1 = f.child_factory("run", 0)
+        c2 = f.child_factory("run", 1)
+        assert not np.array_equal(
+            c1.named("engine").random(4), c2.named("engine").random(4)
+        )
+
+    def test_child_factory_reproducible(self):
+        a = RngFactory(1).child_factory("run", 5).named("x").random(4)
+        b = RngFactory(1).child_factory("run", 5).named("x").random(4)
+        assert np.array_equal(a, b)
+
+    def test_run_streams_count_and_determinism(self):
+        runs1 = [f.named("w").random(2).tolist() for f in RngFactory(2).run_streams(4)]
+        runs2 = [f.named("w").random(2).tolist() for f in RngFactory(2).run_streams(4)]
+        assert len(runs1) == 4
+        assert runs1 == runs2
+        assert len({tuple(r) for r in runs1}) == 4  # all distinct
+
+    def test_string_folding_stable_across_instances(self):
+        # named() must not rely on salted hash(): two separate processes
+        # (simulated by two factories) agree on the stream for a string key
+        a = RngFactory(3).named("stable-key").integers(0, 1 << 30, 4)
+        b = RngFactory(3).named("stable-key").integers(0, 1 << 30, 4)
+        assert np.array_equal(a, b)

@@ -1,0 +1,147 @@
+"""Tests for the Theorem 3/4 bounds and the section-6 cost bounds."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.theory.bounds import (
+    CostBounds,
+    D_factor,
+    U_factor,
+    decrease_steps_expected,
+    lemma5_lower,
+    lemma5_upper,
+    lemma6_upper,
+    theorem3_bounds,
+    theorem4_bound,
+)
+from repro.theory.fixpoint import fix, fix_limit
+
+provable = st.tuples(
+    st.integers(3, 200),
+    st.integers(1, 6),
+    st.floats(1.01, 6.9),
+).filter(lambda t: t[1] < t[0] and t[2] < t[1] + 1)
+
+
+class TestTheorem3:
+    def test_finite_n(self):
+        lo, hi = theorem3_bounds(64, 1, 1.5)
+        assert lo == pytest.approx(fix(64, 1, 1 / 1.5))
+        assert hi == pytest.approx(fix(64, 1, 1.5))
+        assert lo < 1 < hi
+
+    def test_size_free(self):
+        lo, hi = theorem3_bounds(None, 2, 1.5)
+        assert lo == pytest.approx(2 / (3 - 1 / 1.5))
+        assert hi == pytest.approx(2 / (3 - 1.5))
+
+    @given(provable)
+    def test_order(self, ndf):
+        n, d, f = ndf
+        lo, hi = theorem3_bounds(n, d, f)
+        lo_inf, hi_inf = theorem3_bounds(None, d, f)
+        assert lo_inf <= lo <= 1.0 + 1e-9
+        assert 1.0 - 1e-9 <= hi <= hi_inf + 1e-9
+
+    def test_domain_check(self):
+        with pytest.raises(ValueError):
+            theorem3_bounds(64, 1, 2.5)
+
+
+class TestTheorem4:
+    def test_limit_form(self):
+        assert theorem4_bound(None, 1, 1.5) == pytest.approx(
+            1.5**2 * fix_limit(1, 1.5)
+        )
+
+    def test_finite_forms_ordered(self):
+        b_t = theorem4_bound(64, 1, 1.5, t=5)
+        b_inf = theorem4_bound(64, 1, 1.5)
+        b_free = theorem4_bound(None, 1, 1.5)
+        assert b_t <= b_inf <= b_free
+
+    def test_at_least_one(self):
+        """f^2 G^t(1) >= 1 (used inside the Theorem-4 proof)."""
+        for t in (0, 1, 10, None):
+            assert theorem4_bound(64, 4, 1.1, t=t) >= 1.0
+
+
+class TestCostFactors:
+    @given(provable)
+    def test_U_above_D(self, ndf):
+        """Consumption fixed point gives the slower decrease: U >= D."""
+        n, d, f = ndf
+        assert U_factor(n, d, f) >= D_factor(n, d, f) - 1e-12
+
+    @given(provable)
+    def test_factors_positive(self, ndf):
+        n, d, f = ndf
+        assert D_factor(n, d, f) > 0
+        assert U_factor(n, d, f) > 0
+
+    def test_D_is_one_cycle_decrease(self):
+        """D = (1/f + delta/FIX) / (delta+1): equalising l/f with
+        delta partners holding l/FIX."""
+        n, d, f = 64, 1, 1.1
+        k = fix(n, d, f)
+        assert D_factor(n, d, f) == pytest.approx((1 / f + d / k) / (d + 1))
+
+    def test_f_one_factors(self):
+        """At f = 1 both factors are exactly 1 (no decrease happens)."""
+        assert D_factor(64, 1, 1.0) == pytest.approx(1.0)
+        assert U_factor(64, 1, 1.0) == pytest.approx(1.0)
+
+
+class TestLemma56:
+    def test_bounds_bracket_expected_model(self):
+        for x, c in [(1000, 500), (1000, 100), (500, 400)]:
+            for n, d, f in [(64, 1, 1.1), (64, 4, 1.5), (16, 2, 1.2)]:
+                lo = lemma5_lower(x, c, n, d, f)
+                hi = lemma5_upper(x, c, n, d, f)
+                l6 = lemma6_upper(x, c, n, d, f)
+                model = decrease_steps_expected(x, c, n, d, f)
+                assert model is not None
+                assert lo <= model + 1  # floor slack
+                if hi is not None:
+                    assert model <= hi + 1
+                if l6 is not None and hi is not None:
+                    assert l6 <= hi + 1  # Lemma 6 sharpens Lemma 5
+
+    def test_sensitive_to_f_insensitive_to_delta_n(self):
+        """Paper's observation: iterations depend on f, barely on
+        delta or n."""
+        base = decrease_steps_expected(1000, 500, 64, 1, 1.1)
+        other_delta = decrease_steps_expected(1000, 500, 64, 4, 1.1)
+        other_n = decrease_steps_expected(1000, 500, 16, 1, 1.1)
+        higher_f = decrease_steps_expected(1000, 500, 64, 1, 1.5)
+        assert abs(base - other_delta) <= 2
+        assert abs(base - other_n) <= 2
+        assert higher_f < base / 2
+
+    def test_scale_invariance_at_fixed_ratio(self):
+        """Same c/x => same iteration count (paper's remark)."""
+        a = decrease_steps_expected(1000, 500, 64, 1, 1.1)
+        b = decrease_steps_expected(2000, 1000, 64, 1, 1.1)
+        assert abs(a - b) <= 1
+
+    def test_lower_bound_nonnegative(self):
+        assert lemma5_lower(10, 5, 8, 1, 1.1) >= 0
+
+    def test_upper_none_when_invalid(self):
+        # f extremely close to 1 => validity condition can fail for big c/x
+        assert lemma5_upper(10, 9, 8, 1, 1.0) is None
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            lemma5_lower(1, 1, 8, 1, 1.1)  # x must be > 1
+        with pytest.raises(ValueError):
+            lemma6_upper(10, 10, 8, 1, 1.1)  # need c < x
+        with pytest.raises(ValueError):
+            decrease_steps_expected(10, 5, 8, 1, 2.5)  # domain
+
+    def test_cost_bounds_bundle(self):
+        cb = CostBounds.compute(1000, 500, 64, 1, 1.1)
+        assert cb.lower <= (cb.expected_model or 0)
+        assert cb.improved_upper is not None
+        assert cb.x == 1000 and cb.c == 500

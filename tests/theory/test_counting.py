@@ -1,0 +1,96 @@
+"""Tests for the computation-graph counts n(t,u) and n(t,u,i)."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.theory.counting import n_computations, n_computations_bow
+
+
+def brute_force_n(t: int, u: int) -> int:
+    """Sequences over alphabet [u] using all u symbols."""
+    return sum(
+        1 for seq in itertools.product(range(u), repeat=t) if len(set(seq)) == u
+    )
+
+
+def brute_force_bow(t: int, u: int, i: int) -> int:
+    count = 0
+    for seq in itertools.product(range(u), repeat=t):
+        if len(set(seq)) != u:
+            continue
+        last = seq[-1]
+        prev = 0
+        for pos in range(t - 1, 0, -1):  # steps t-1 .. 1 (1-based)
+            if seq[pos - 1] == last:
+                prev = pos
+                break
+        if prev == i:
+            count += 1
+    return count
+
+
+class TestNComputations:
+    def test_base_cases(self):
+        assert n_computations(0, 0) == 1
+        assert n_computations(3, 0) == 0
+        assert n_computations(3, 4) == 0
+        assert n_computations(1, 1) == 1
+
+    def test_footnote_examples(self):
+        assert n_computations(3, 2) == 6  # 2^3 - 2
+        assert n_computations(2, 2) == 2
+
+    @pytest.mark.parametrize("t", range(1, 7))
+    @pytest.mark.parametrize("u", range(1, 7))
+    def test_against_brute_force(self, t, u):
+        assert n_computations(t, u) == brute_force_n(t, u)
+
+    def test_equals_surjection_formula(self):
+        """n(t,u) = u! * S(t,u) (Stirling), via inclusion-exclusion."""
+        for t in range(1, 9):
+            for u in range(1, t + 1):
+                sieve = sum(
+                    (-1) ** (u - j) * math.comb(u, j) * j**t
+                    for j in range(u + 1)
+                )
+                assert n_computations(t, u) == sieve
+
+    @given(st.integers(1, 30))
+    def test_partition_of_total(self, t):
+        """sum over u of n(t,u) * binom(m,u) = m^t for any alphabet m >= t."""
+        m = t + 3
+        total = sum(
+            n_computations(t, u) * math.comb(m, u) for u in range(1, t + 1)
+        )
+        assert total == m**t
+
+
+class TestBowCounts:
+    @pytest.mark.parametrize("t", range(1, 6))
+    @pytest.mark.parametrize("u", range(1, 6))
+    def test_against_brute_force(self, t, u):
+        if u > t:
+            return
+        for i in range(t):
+            assert n_computations_bow(t, u, i) == brute_force_bow(t, u, i)
+
+    @pytest.mark.parametrize("t,u", [(4, 2), (5, 3), (6, 4), (7, 3)])
+    def test_bow_counts_partition(self, t, u):
+        """Every sequence has exactly one last-use index: the bow
+        counts partition n(t, u)."""
+        assert sum(
+            n_computations_bow(t, u, i) for i in range(t)
+        ) == n_computations(t, u)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            n_computations_bow(3, 2, 3)
+        with pytest.raises(ValueError):
+            n_computations_bow(3, 2, -1)
+
+    def test_out_of_range_u(self):
+        assert n_computations_bow(3, 5, 0) == 0

@@ -1,0 +1,134 @@
+"""Tests for FIX and the Theorem 1/2 structure."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.theory.fixpoint import (
+    A_const,
+    contraction_modulus,
+    fix,
+    fix_limit,
+    fix_trajectory_bound_violations,
+    iterate_G,
+    iterate_to_convergence,
+)
+from repro.theory.operators import GrowthOperator
+
+provable = st.tuples(
+    st.integers(3, 300),                 # n
+    st.integers(1, 8),                   # delta
+    st.floats(1.0, 8.9),                 # f
+).filter(lambda t: t[1] < t[0] and t[2] < t[1] + 1)
+
+
+class TestFix:
+    def test_f_one_gives_one(self):
+        for n in (2, 8, 100):
+            for d in (1, min(4, n - 1)):
+                assert fix(n, d, 1.0) == pytest.approx(1.0)
+
+    def test_is_fixed_point_of_G(self):
+        for n, d, f in [(8, 1, 1.5), (64, 4, 2.0), (100, 2, 1.1)]:
+            G = GrowthOperator(n, d, f)
+            k = fix(n, d, f)
+            assert G(k) == pytest.approx(k, rel=1e-12)
+
+    @given(provable)
+    def test_fixed_point_property(self, ndf):
+        n, d, f = ndf
+        G = GrowthOperator(n, d, f)
+        k = fix(n, d, f)
+        assert G(k) == pytest.approx(k, rel=1e-9)
+
+    @given(provable)
+    def test_theorem2_bound(self, ndf):
+        """FIX(n, delta, f) <= delta / (delta + 1 - f)."""
+        n, d, f = ndf
+        assert fix(n, d, f) <= fix_limit(d, f) + 1e-9
+
+    def test_theorem2_limit(self):
+        """FIX -> delta / (delta + 1 - f) as n -> inf."""
+        d, f = 2, 1.7
+        target = fix_limit(d, f)
+        vals = [fix(n, d, f) for n in (10, 100, 1000, 100000)]
+        errors = [abs(v - target) for v in vals]
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] < 1e-3
+
+    def test_consumption_direction_below_one(self):
+        """FIX(n, delta, 1/f) < 1 < FIX(n, delta, f) for f > 1."""
+        n, d, f = 64, 1, 1.5
+        assert fix(n, d, 1 / f) < 1.0 < fix(n, d, f)
+
+    def test_lemma3_reversed_inequality_for_consumption(self):
+        """FIX(n, delta, 1/f) >= delta/(delta+1-1/f) (Lemma 3(2))."""
+        for n in (4, 16, 64, 1024):
+            for d in (1, 2):
+                for f in (1.1, 1.5, 1.9):
+                    assert fix(n, d, 1 / f) >= d / (d + 1 - 1 / f) - 1e-12
+
+    def test_A_const_value(self):
+        # n=4, delta=1, f=2: A = (2 - 8 + 2 + 3) / 4 = -1/4
+        assert A_const(4, 1, 2.0) == pytest.approx(-0.25)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            fix(1, 1, 1.1)
+        with pytest.raises(ValueError):
+            fix(4, 4, 1.1)
+        with pytest.raises(ValueError):
+            fix(4, 1, 0.0)
+        with pytest.raises(ValueError):
+            fix_limit(1, 2.0)
+
+
+class TestIteration:
+    def test_trajectory_monotone_from_below(self):
+        """Theorem 1: G^t(1) increases monotonically to FIX."""
+        traj = iterate_G(64, 1, 1.5, 200)
+        assert traj == sorted(traj)
+        assert traj[-1] == pytest.approx(fix(64, 1, 1.5), rel=1e-6)
+
+    def test_trajectory_never_exceeds_fix(self):
+        assert list(fix_trajectory_bound_violations(64, 2, 2.5, 500)) == []
+
+    def test_escape_from_imbalance(self):
+        """Banach: convergence from any start, including above FIX."""
+        val, _ = iterate_to_convergence(32, 1, 1.3, k0=50.0)
+        assert val == pytest.approx(fix(32, 1, 1.3), rel=1e-9)
+        val2, _ = iterate_to_convergence(32, 1, 1.3, k0=0.01)
+        assert val2 == pytest.approx(fix(32, 1, 1.3), rel=1e-9)
+
+    def test_iterate_G_length(self):
+        assert len(iterate_G(8, 1, 1.1, 5)) == 6
+
+    @given(provable)
+    def test_convergence_everywhere_in_domain(self, ndf):
+        n, d, f = ndf
+        val, iters = iterate_to_convergence(n, d, f, tol=1e-10)
+        assert val == pytest.approx(fix(n, d, f), rel=1e-6)
+        assert iters < 1_000_000
+
+    def test_contraction_modulus_below_one(self):
+        """|G'| < 1 on [FIX/2, 2 FIX]: the Banach hypothesis."""
+        for n, d, f in [(8, 1, 1.5), (64, 4, 2.0), (1000, 1, 1.1)]:
+            k = fix(n, d, f)
+            assert contraction_modulus(n, d, f, k / 2, 2 * k) < 1.0
+
+    def test_contraction_modulus_invalid_interval(self):
+        with pytest.raises(ValueError):
+            contraction_modulus(8, 1, 1.1, 2.0, 1.0)
+
+    def test_geometric_convergence_rate(self):
+        """Error shrinks at least geometrically with the modulus."""
+        n, d, f = 64, 1, 1.5
+        target = fix(n, d, f)
+        traj = iterate_G(n, d, f, 50)
+        errs = [abs(v - target) for v in traj]
+        mod = contraction_modulus(n, d, f, 1.0, target)
+        for a, b in zip(errs, errs[1:]):
+            if a > 1e-13:
+                assert b <= a * (mod + 1e-9)

@@ -1,0 +1,137 @@
+"""Tests for the exact O(t) moment recursion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory.fixpoint import fix, iterate_G
+from repro.theory.moments import MomentState, exact_moments
+from repro.theory.variation import exact_variation_density, mc_variation_density
+
+params = st.tuples(
+    st.integers(3, 100),
+    st.integers(1, 6),
+    st.floats(1.0, 3.0),
+).filter(lambda t: t[1] < t[0])
+
+
+class TestAgainstLemma1:
+    @given(params)
+    @settings(max_examples=40)
+    def test_mean_ratio_is_G_iteration(self, ndf):
+        """The first-moment shadow of the recursion IS Lemma 1."""
+        n, d, f = ndf
+        res = exact_moments(15, n, f, delta=d)
+        ratio = res.e_producer / res.e_other
+        theory = np.asarray(iterate_G(n, d, f, 15))
+        assert np.allclose(ratio, theory, rtol=1e-12)
+
+    def test_ratio_converges_to_fix(self):
+        res = exact_moments(3000, 32, 1.6, delta=2)
+        assert res.e_producer[-1] / res.e_other[-1] == pytest.approx(
+            fix(32, 2, 1.6), rel=1e-9
+        )
+
+
+class TestAgainstEnumeration:
+    @pytest.mark.parametrize("n,f", [(3, 1.2), (5, 1.3), (8, 1.7), (4, 1.0)])
+    def test_delta1_matches_exhaustive(self, n, f):
+        t = 6
+        en = exact_variation_density(t, n, f)
+        mo = exact_moments(t, n, f, delta=1)
+        assert np.allclose(en.e_producer, mo.e_producer, rtol=1e-12)
+        assert np.allclose(en.e2_producer, mo.e2_producer, rtol=1e-12)
+        assert np.allclose(en.e_other, mo.e_other, rtol=1e-12)
+        assert np.allclose(en.e2_other, mo.e2_other, rtol=1e-12)
+
+
+class TestAgainstMonteCarlo:
+    @pytest.mark.parametrize("delta", [2, 3])
+    def test_subset_mode_matches_mc(self, delta):
+        n, f, t = 9, 1.25, 12
+        mc = mc_variation_density(
+            t, n, f, delta=delta, mode="exact", trials=150_000, seed=1
+        )
+        mo = exact_moments(t, n, f, delta=delta)
+        assert np.allclose(mc.e_producer, mo.e_producer, rtol=0.01)
+        assert np.allclose(mc.vd_other[1:], mo.vd_other[1:], atol=0.01)
+
+
+class TestProperties:
+    def test_f_one_stays_deterministic(self):
+        res = exact_moments(30, 10, 1.0, delta=1)
+        assert np.allclose(res.vd_producer, 0.0, atol=1e-12)
+        assert np.allclose(res.vd_other, 0.0, atol=1e-12)
+
+    def test_n2_deterministic(self):
+        res = exact_moments(10, 2, 1.5, delta=1)
+        assert np.allclose(res.vd_producer, 0.0, atol=1e-9)
+
+    @given(params)
+    @settings(max_examples=40)
+    def test_variance_nonnegative(self, ndf):
+        """Cauchy-Schwarz sanity: E[x^2] >= E[x]^2 at every step."""
+        n, d, f = ndf
+        res = exact_moments(25, n, f, delta=d)
+        # relative tolerance: the moments grow geometrically, so an
+        # absolute epsilon would be swamped by rounding at large t
+        assert (
+            res.e2_producer >= res.e_producer**2 * (1 - 1e-12) - 1e-9
+        ).all()
+        assert (res.e2_other >= res.e_other**2 * (1 - 1e-12) - 1e-9).all()
+
+    def test_vd_decreases_with_delta(self):
+        vds = [
+            exact_moments(100, 20, 1.2, delta=d).vd_other[-1] for d in (1, 2, 4)
+        ]
+        assert vds[0] > vds[1] > vds[2]
+
+    def test_vd_increases_with_f(self):
+        a = exact_moments(100, 20, 1.1, delta=1).vd_other[-1]
+        b = exact_moments(100, 20, 1.4, delta=1).vd_other[-1]
+        assert b > a
+
+    def test_vd_plateau_at_paper_scale(self):
+        """Figure-6 convergence at the paper's horizon (t <= 150): VD
+        changes by < 0.02 over the second half of the range."""
+        vd = exact_moments(150, 20, 1.2, delta=1).vd_other
+        assert abs(vd[150] - vd[75]) < 0.02
+
+    def test_vd_slow_drift_beyond_paper_scale(self):
+        """The exact recursion's finding (EXPERIMENTS.md): the pure-
+        growth OPG VD is NOT asymptotically bounded — it drifts upward
+        slowly beyond ~1e4 steps (log-load variance accumulation)."""
+        s = MomentState.balanced()
+        checkpoints = {}
+        for t in range(1, 100_001):
+            s = s.step(20, 1, 1.2).normalised()
+            if t in (1000, 100_000):
+                checkpoints[t] = s.vd_other
+        assert checkpoints[100_000] > checkpoints[1000] * 1.5
+
+    def test_normalised_preserves_invariants(self):
+        s = MomentState.balanced().step(10, 1, 1.3).step(10, 1, 1.3)
+        ns = s.normalised()
+        assert ns.g == pytest.approx(1.0)
+        assert ns.ratio == pytest.approx(s.ratio)
+        assert ns.vd_other == pytest.approx(s.vd_other)
+        assert ns.vd_producer == pytest.approx(s.vd_producer)
+
+    def test_normalise_flag_matches_raw_vd(self):
+        raw = exact_moments(80, 12, 1.3, delta=2)
+        norm = exact_moments(80, 12, 1.3, delta=2, normalise=True)
+        assert np.allclose(raw.vd_other, norm.vd_other, rtol=1e-9)
+        assert np.allclose(raw.vd_producer, norm.vd_producer, rtol=1e-9)
+
+    def test_balanced_state_factory(self):
+        s = MomentState.balanced(3.0)
+        assert s.a == 9.0 and s.e == 3.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            exact_moments(5, 1, 1.1)
+        with pytest.raises(ValueError):
+            exact_moments(5, 4, 1.1, delta=4)
+        with pytest.raises(ValueError):
+            exact_moments(5, 4, 0.0)

@@ -1,0 +1,87 @@
+"""Tests for the G / C operators (Lemma 1 structure)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.theory.operators import GrowthOperator, consume_operator, growth_operator
+
+params = st.tuples(
+    st.integers(3, 200),          # n
+    st.integers(1, 8),            # delta
+    st.floats(1.0, 5.0),          # f
+).filter(lambda t: t[1] < t[0])
+
+
+class TestGrowthOperator:
+    def test_lemma1_value(self):
+        # hand-computed: n=4, delta=1, f=2, k=1:
+        # G(1) = (2+1)*3 / (2 + 1*2 + 3) = 9/7
+        assert growth_operator(1.0, 4, 1, 2.0) == pytest.approx(9 / 7)
+
+    def test_f_one_is_identity_at_fixed_point_one(self):
+        # with f = 1 the balanced state k = 1 is the fixed point
+        for n in (2, 5, 64):
+            assert growth_operator(1.0, n, 1, 1.0) == pytest.approx(1.0)
+
+    def test_consume_is_g_at_inverse(self):
+        assert consume_operator(1.3, 16, 2, 1.5) == pytest.approx(
+            growth_operator(1.3, 16, 2, 1.0 / 1.5)
+        )
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            growth_operator(1.0, 1, 1, 1.1)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            growth_operator(1.0, 4, 4, 1.1)
+
+    @given(params, st.floats(0.01, 100.0))
+    def test_positive(self, nd_f, k):
+        n, delta, f = nd_f
+        assert growth_operator(k, n, delta, f) > 0
+
+    @given(params)
+    def test_monotone_in_k(self, nd_f):
+        """G is non-decreasing in k; strictly increasing except in the
+        degenerate full-machine case delta = n - 1, where balancing
+        wipes the ratio out entirely (G is constant)."""
+        n, delta, f = nd_f
+        ks = [0.5, 1.0, 2.0, 5.0]
+        vals = [growth_operator(k, n, delta, f) for k in ks]
+        assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:]))
+        if delta < n - 1:
+            assert all(b > a for a, b in zip(vals, vals[1:]))
+
+    @given(params, st.floats(0.1, 50.0))
+    def test_derivative_matches_finite_difference(self, nd_f, k):
+        n, delta, f = nd_f
+        G = GrowthOperator(n, delta, f)
+        h = 1e-6 * max(k, 1.0)
+        fd = (G(k + h) - G(k - h)) / (2 * h)
+        assert G.derivative(k) == pytest.approx(fd, rel=1e-3, abs=1e-8)
+
+
+class TestGrowthOperatorClass:
+    def test_call_equals_function(self):
+        G = GrowthOperator(16, 1, 1.1)
+        assert G(1.0) == growth_operator(1.0, 16, 1, 1.1)
+
+    def test_iterated(self):
+        G = GrowthOperator(16, 1, 1.1)
+        assert G.iterated(0)(1.0) == 1.0
+        assert G.iterated(3)(1.0) == pytest.approx(G(G(G(1.0))))
+
+    def test_iterated_negative_rejected(self):
+        with pytest.raises(ValueError):
+            GrowthOperator(16, 1, 1.1).iterated(-1)
+
+    def test_inverse_direction(self):
+        G = GrowthOperator(16, 2, 1.5)
+        C = G.inverse_direction()
+        assert C.f == pytest.approx(1 / 1.5)
+
+    def test_invalid_f(self):
+        with pytest.raises(ValueError):
+            GrowthOperator(16, 1, 0.0)

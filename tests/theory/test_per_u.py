@@ -1,0 +1,116 @@
+"""Tests for the per-u decomposition (the paper's E(v_{t,u}^2))."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.theory.counting import n_computations
+from repro.theory.moments import exact_moments
+from repro.theory.per_u import per_u_moments
+from repro.theory.variation import _falling, _rgs_patterns
+
+
+def brute_conditional(t: int, n: int, f: float) -> dict[int, tuple[float, float, float]]:
+    """Exhaustive (weight, E[v], E[v^2]) per u, for small t."""
+    m = n - 1
+    out: dict[int, list[float]] = {}
+    for pattern in _rgs_patterns(t, max_blocks=min(t, m)):
+        u = (max(pattern) + 1) if pattern else 0
+        weight = _falling(m, u) / m**t
+        if weight == 0:
+            continue
+        x = 1.0
+        y = [1.0] * u
+        for blk in pattern:
+            merged = (f * x + y[blk]) / 2
+            x = merged
+            y[blk] = merged
+        acc = out.setdefault(u, [0.0, 0.0, 0.0])
+        acc[0] += weight
+        acc[1] += weight * x
+        acc[2] += weight * x * x
+    return {
+        u: (w, e / w, e2 / w) for u, (w, e, e2) in out.items()
+    }
+
+
+class TestWeights:
+    @pytest.mark.parametrize("t,n", [(5, 4), (7, 6), (6, 10), (9, 3)])
+    def test_weights_equal_counting_formula(self, t, n):
+        """w_u == n(t, u) * binom(m, u) / m^t — the paper's footnote,
+        derived by the DP independently of the sieve."""
+        m = n - 1
+        dec = per_u_moments(t, n, 1.3)
+        for u in range(dec.u_max + 1):
+            expect = n_computations(t, u) * math.comb(m, u) / m**t
+            assert dec.weights[u] == pytest.approx(expect, abs=1e-14)
+
+    def test_weights_sum_to_one(self):
+        dec = per_u_moments(10, 7, 1.2)
+        assert dec.weights.sum() == pytest.approx(1.0)
+
+
+class TestConditionalMoments:
+    @pytest.mark.parametrize("t,n,f", [(6, 5, 1.3), (7, 6, 1.1), (5, 3, 1.7)])
+    def test_against_enumeration(self, t, n, f):
+        dec = per_u_moments(t, n, f)
+        brute = brute_conditional(t, n, f)
+        for u, (w, e, e2) in brute.items():
+            assert dec.weights[u] == pytest.approx(w, abs=1e-12)
+            assert dec.producer_mean(u) == pytest.approx(e, rel=1e-10)
+            assert dec.producer_second_moment(u) == pytest.approx(e2, rel=1e-10)
+
+    def test_fewer_candidates_higher_load(self):
+        """Using fewer distinct partners keeps the producer's load
+        high (it keeps averaging with its own past): E[v|u] decreasing
+        in u."""
+        dec = per_u_moments(8, 8, 1.4)
+        means = [
+            dec.producer_mean(u)
+            for u in range(1, dec.u_max + 1)
+            if dec.weights[u] > 0
+        ]
+        assert means == sorted(means, reverse=True)
+
+    def test_vd_conditioned(self):
+        dec = per_u_moments(8, 8, 1.4)
+        for u in range(2, dec.u_max + 1):
+            if dec.weights[u] > 0:
+                assert 0 <= dec.vd_producer(u) < 1.0
+
+
+class TestMarginals:
+    @pytest.mark.parametrize("t,n,f", [(10, 6, 1.3), (15, 12, 1.15), (8, 4, 1.9)])
+    def test_mixture_recovers_global_recursion(self, t, n, f):
+        dec = per_u_moments(t, n, f)
+        mo = exact_moments(t, n, f)
+        e, a = dec.marginal_moments()
+        assert e == pytest.approx(mo.e_producer[-1], rel=1e-12)
+        assert a == pytest.approx(mo.e2_producer[-1], rel=1e-12)
+        eo, ao = dec.marginal_other_moments()
+        assert eo == pytest.approx(mo.e_other[-1], rel=1e-12)
+        assert ao == pytest.approx(mo.e2_other[-1], rel=1e-12)
+
+    def test_t_zero(self):
+        dec = per_u_moments(0, 5, 1.5)
+        assert dec.weights[0] == 1.0
+        e, a = dec.marginal_moments()
+        assert (e, a) == (1.0, 1.0)
+
+
+class TestValidation:
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            per_u_moments(5, 1, 1.1)
+        with pytest.raises(ValueError):
+            per_u_moments(-1, 5, 1.1)
+        with pytest.raises(ValueError):
+            per_u_moments(5, 5, 0.0)
+
+    def test_u_out_of_range(self):
+        dec = per_u_moments(4, 5, 1.2)
+        with pytest.raises(ValueError):
+            dec.producer_mean(99)
+        with pytest.raises(ValueError):
+            dec.producer_mean(0)  # weight 0 after t >= 1 steps

@@ -1,0 +1,144 @@
+"""Tests for the section-5 variation density machinery."""
+
+import numpy as np
+import pytest
+
+from repro.theory.fixpoint import fix
+from repro.theory.variation import (
+    exact_variation_density,
+    mc_variation_density,
+    simulate_candidate_sequence,
+)
+
+
+class TestCandidateSequence:
+    def test_figure2_example_recurrence(self):
+        """v_t = 1/2 v_i + f/2 v_{t-1} with i = last use of candidate."""
+        f = 1.3
+        seq = (2, 4, 3, 3, 4, 2, 2)  # the paper's example (the -3 is a typo)
+        hist = simulate_candidate_sequence(seq, f, n=6)
+        v = hist[:, 0]
+        last_use = {}
+        for t, cand in enumerate(seq, start=1):
+            i = last_use.get(cand, 0)
+            expected = 0.5 * v[i] + (f / 2) * v[t - 1]
+            assert v[t] == pytest.approx(expected)
+            last_use[cand] = t
+
+    def test_candidate_shares_value(self):
+        hist = simulate_candidate_sequence([3], 1.5, n=4)
+        assert hist[1, 0] == hist[1, 2]  # processor 1 and candidate 3 equal
+        assert hist[1, 1] == 1.0 and hist[1, 3] == 1.0  # untouched
+
+    def test_out_of_range_candidate(self):
+        with pytest.raises(ValueError):
+            simulate_candidate_sequence([7], 1.1, n=4)
+
+    def test_mass_conservation_with_growth(self):
+        """Each step adds (f-1) * v_{t-1} to the total mass."""
+        f = 1.2
+        hist = simulate_candidate_sequence([2, 3, 2], f, n=4)
+        for t in range(1, hist.shape[0]):
+            expect = hist[t - 1].sum() + (f - 1) * hist[t - 1, 0]
+            assert hist[t].sum() == pytest.approx(expect)
+
+
+class TestExactEnumeration:
+    def test_f_one_no_variance_in_expectation_growth(self):
+        """f = 1: loads stay 1 forever, VD = 0."""
+        res = exact_variation_density(4, 5, 1.0)
+        assert np.allclose(res.e_producer, 1.0)
+        assert np.allclose(res.vd_producer, 0.0)
+        assert np.allclose(res.vd_other, 0.0)
+
+    def test_n2_deterministic(self):
+        """n = 2: only one candidate, the process is deterministic,
+        so the variance vanishes although loads grow."""
+        res = exact_variation_density(6, 2, 1.4)
+        assert np.allclose(res.vd_producer, 0.0, atol=1e-12)
+        assert np.allclose(res.vd_other, 0.0, atol=1e-12)
+        assert res.e_producer[-1] > 1.0
+
+    def test_expected_producer_matches_operator(self):
+        """E(producer)/E(other) from the enumeration equals G^t(1)."""
+        from repro.theory.fixpoint import iterate_G
+
+        n, f, t = 5, 1.3, 6
+        res = exact_variation_density(t, n, f)
+        ratio = res.e_producer / res.e_other
+        theory = iterate_G(n, 1, f, t)
+        assert np.allclose(ratio, theory, rtol=1e-10)
+
+    def test_mean_growth_identity(self):
+        """E(total mass) grows by (f-1) E(producer) per step."""
+        n, f, t = 4, 1.25, 5
+        res = exact_variation_density(t, n, f)
+        total = res.e_producer + (n - 1) * res.e_other
+        for s in range(t):
+            assert total[s + 1] == pytest.approx(
+                total[s] + (f - 1) * res.e_producer[s]
+            )
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            exact_variation_density(20, 5, 1.1)
+
+    def test_exact_mode_delta_gt1_rejected(self):
+        with pytest.raises(NotImplementedError):
+            exact_variation_density(3, 5, 1.1, delta=2, mode="exact")
+
+
+class TestMonteCarlo:
+    def test_matches_exact_small(self):
+        """MC estimator agrees with exhaustive enumeration."""
+        n, f, t = 4, 1.3, 5
+        exact = exact_variation_density(t, n, f)
+        mc = mc_variation_density(t, n, f, trials=60_000, seed=0)
+        assert np.allclose(mc.e_producer, exact.e_producer, rtol=0.02)
+        assert np.allclose(mc.e_other, exact.e_other, rtol=0.02)
+        assert np.allclose(
+            mc.vd_producer[1:], exact.vd_producer[1:], atol=0.03
+        )
+
+    def test_matches_exact_relaxed_delta2(self):
+        n, f, t, d = 5, 1.2, 3, 2
+        exact = exact_variation_density(t, n, f, delta=d, mode="relaxed")
+        mc = mc_variation_density(t, n, f, delta=d, mode="relaxed",
+                                  trials=60_000, seed=1)
+        assert np.allclose(mc.e_producer, exact.e_producer, rtol=0.02)
+        assert np.allclose(mc.vd_other[1:], exact.vd_other[1:], atol=0.03)
+
+    def test_vd_bounded_and_converging(self):
+        """Figure-6 shape: VD small, converging in t."""
+        res = mc_variation_density(100, 20, 1.1, delta=1, trials=20_000, seed=2)
+        vd = res.vd_other
+        assert vd.max() < 1.0
+        tail = vd[60:]
+        assert tail.std() < 0.05  # plateaued
+
+    def test_vd_increases_with_f(self):
+        a = mc_variation_density(60, 10, 1.1, trials=20_000, seed=3).vd_other[-1]
+        b = mc_variation_density(60, 10, 1.6, trials=20_000, seed=3).vd_other[-1]
+        assert b > a
+
+    def test_ratio_tracks_fix(self):
+        """Mean-field ratio converges to FIX (Theorem 1 via MC)."""
+        n, d, f = 32, 2, 1.5
+        res = mc_variation_density(120, n, f, delta=d, trials=40_000, seed=4)
+        ratio = res.e_producer[-1] / res.e_other[-1]
+        assert ratio == pytest.approx(fix(n, d, f), rel=0.02)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            mc_variation_density(10, 1, 1.1)
+        with pytest.raises(ValueError):
+            mc_variation_density(10, 4, 1.1, delta=4)
+
+    def test_delta_subset_mode_distinct_candidates(self):
+        """Exact mode with delta=3 must pick distinct partners: after
+        one step exactly delta+1 processors share the merged value."""
+        res = mc_variation_density(1, 8, 1.5, delta=3, trials=500, seed=5)
+        # merged value = (f + 3) / 4 with all loads 1 initially
+        merged = (1.5 + 3) / 4
+        expect_producer = merged
+        assert res.e_producer[1] == pytest.approx(expect_producer, rel=1e-12)

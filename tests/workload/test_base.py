@@ -1,0 +1,71 @@
+"""Tests for the workload protocol and the shared action sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workload.base import ConstantWorkload, WorkloadModel, sample_actions
+
+
+class TestConstantWorkload:
+    def test_returns_vector(self, rng):
+        w = ConstantWorkload([1, 0, -1])
+        a = w.actions(0, np.array([5, 5, 5]), rng)
+        assert a.tolist() == [1, 0, -1]
+
+    def test_copy_not_alias(self, rng):
+        w = ConstantWorkload([1, 0])
+        a = w.actions(0, np.zeros(2), rng)
+        a[0] = -1
+        assert w.vector[0] == 1
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            ConstantWorkload([2, 0])
+
+    def test_protocol_conformance(self):
+        assert isinstance(ConstantWorkload([0]), WorkloadModel)
+
+
+class TestSampleActions:
+    def test_prob_one_generates(self, rng):
+        g = np.ones(10)
+        c = np.zeros(10)
+        a = sample_actions(g, c, np.zeros(10), rng)
+        assert (a == 1).all()
+
+    def test_prob_one_consumes_when_loaded(self, rng):
+        g = np.zeros(10)
+        c = np.ones(10)
+        a = sample_actions(g, c, np.full(10, 3), rng)
+        assert (a == -1).all()
+
+    def test_consume_needs_load(self, rng):
+        a = sample_actions(np.zeros(5), np.ones(5), np.zeros(5), rng)
+        assert (a == 0).all()
+
+    def test_both_one_splits_evenly(self):
+        """g = c = 1: the coin picks ~half generate, half consume."""
+        rng = np.random.default_rng(0)
+        n = 20_000
+        a = sample_actions(np.ones(n), np.ones(n), np.full(n, 5), rng)
+        frac_gen = (a == 1).mean()
+        assert 0.47 < frac_gen < 0.53
+        assert ((a == 1) | (a == -1)).all()
+
+    @given(
+        g=st.floats(0, 1),
+        c=st.floats(0, 1),
+        seed=st.integers(0, 100),
+    )
+    def test_marginal_rates(self, g, c, seed):
+        """Empirical action rates respect the independent-event model:
+        P(gen) = g(1 - c/2) etc. — checked loosely."""
+        rng = np.random.default_rng(seed)
+        n = 4000
+        a = sample_actions(
+            np.full(n, g), np.full(n, c), np.full(n, 10), rng
+        )
+        expect_gen = g * (1 - c / 2)
+        assert abs((a == 1).mean() - expect_gen) < 0.06

@@ -1,0 +1,79 @@
+"""Tests for the Markov-modulated workload."""
+
+import numpy as np
+import pytest
+
+from repro.workload.markov import MarkovModulated
+
+
+class TestMarkovModulated:
+    def test_action_values(self, rng):
+        w = MarkovModulated(8)
+        for t in range(50):
+            a = w.actions(t, np.full(8, 5), rng)
+            assert np.isin(a, (-1, 0, 1)).all()
+
+    def test_states_flip_over_time(self):
+        rng = np.random.default_rng(0)
+        w = MarkovModulated(4, mean_burst=5, mean_quiet=5)
+        initial = w.bursting.copy()
+        flipped = False
+        for t in range(100):
+            w.actions(t, np.zeros(4), rng)
+            if not np.array_equal(w.bursting, initial):
+                flipped = True
+                break
+        assert flipped
+
+    def test_sojourn_lengths_geometric(self):
+        """Mean burst length matches the configured sojourn mean."""
+        rng = np.random.default_rng(1)
+        w = MarkovModulated(1, mean_burst=20, mean_quiet=20, start_bursting=1.0)
+        lengths = []
+        current = 0
+        for t in range(40_000):
+            w.actions(t, np.zeros(1), rng)
+            if w.bursting[0]:
+                current += 1
+            elif current:
+                lengths.append(current)
+                current = 0
+        assert np.mean(lengths) == pytest.approx(20, rel=0.15)
+
+    def test_stationary_fraction(self):
+        w = MarkovModulated(1, mean_burst=30, mean_quiet=90)
+        assert w.stationary_burst_fraction == pytest.approx(0.25)
+
+    def test_burst_generates_more(self):
+        rng = np.random.default_rng(2)
+        # pin states by making transitions impossible in the horizon
+        w = MarkovModulated(
+            2000,
+            mean_burst=1e9,
+            mean_quiet=1e9,
+            start_bursting=0.5,
+            burst_rates=(0.9, 0.0),
+            quiet_rates=(0.05, 0.0),
+        )
+        a = w.actions(0, np.zeros(2000), rng)
+        bursting_rate = a[w.bursting].mean()
+        quiet_rate = a[~w.bursting].mean()
+        assert bursting_rate > 5 * quiet_rate
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovModulated(0)
+        with pytest.raises(ValueError):
+            MarkovModulated(4, mean_burst=0.5)
+        with pytest.raises(ValueError):
+            MarkovModulated(4, start_bursting=1.5)
+        with pytest.raises(ValueError):
+            MarkovModulated(4, burst_rates=(1.5, 0.0))
+
+    def test_drives_engine(self):
+        from repro import LBParams, run_simulation
+
+        res = run_simulation(
+            8, LBParams(f=1.2, delta=1, C=4), MarkovModulated(8), 100, seed=0
+        )
+        assert res.steps == 100

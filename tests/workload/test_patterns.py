@@ -1,0 +1,86 @@
+"""Tests for the structured workload patterns."""
+
+import numpy as np
+import pytest
+
+from repro.workload.patterns import (
+    AdversarialFlipFlop,
+    BurstyHotspot,
+    OneProducer,
+    ProducerConsumerSplit,
+    UniformRandom,
+)
+
+
+class TestOneProducer:
+    def test_only_proc0_generates(self, rng):
+        w = OneProducer(8, gen=1.0)
+        for t in range(20):
+            a = w.actions(t, np.zeros(8), rng)
+            assert a[0] == 1
+            assert (a[1:] <= 0).all()
+
+    def test_consumers(self, rng):
+        w = OneProducer(8, gen=1.0, consume=1.0)
+        a = w.actions(0, np.full(8, 5), rng)
+        assert a[0] == 1
+        assert (a[1:] == -1).all()
+
+
+class TestProducerConsumerSplit:
+    def test_split_sides(self, rng):
+        w = ProducerConsumerSplit(10, k=4, gen=1.0, consume=1.0)
+        a = w.actions(0, np.full(10, 3), rng)
+        assert (a[:4] == 1).all()
+        assert (a[4:] == -1).all()
+
+    def test_default_half(self):
+        w = ProducerConsumerSplit(10)
+        assert (w.g[:5] > 0).all() and (w.g[5:] == 0).all()
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ProducerConsumerSplit(4, k=4)
+
+
+class TestUniformRandom:
+    def test_rates(self):
+        rng = np.random.default_rng(0)
+        w = UniformRandom(1000, gen=0.5, consume=0.0)
+        a = w.actions(0, np.zeros(1000), rng)
+        assert 0.4 < (a == 1).mean() < 0.6
+
+
+class TestBurstyHotspot:
+    def test_single_generator_per_tick(self, rng):
+        w = BurstyHotspot(8, period=10, consume=0.0)
+        for t in range(30):
+            a = w.actions(t, np.zeros(8), rng)
+            assert (a == 1).sum() == 1
+
+    def test_hotspot_moves(self):
+        rng = np.random.default_rng(2)
+        w = BurstyHotspot(32, period=5, consume=0.0)
+        spots = set()
+        for t in range(50):
+            a = w.actions(t, np.zeros(32), rng)
+            spots.add(int(np.argmax(a)))
+        assert len(spots) > 3
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            BurstyHotspot(8, period=0)
+
+
+class TestAdversarialFlipFlop:
+    def test_counter_phase(self, rng):
+        w = AdversarialFlipFlop(4, half_period=10, rate=1.0)
+        a0 = w.actions(0, np.full(4, 5), rng)
+        assert a0[0] == 1 and a0[2] == 1  # even generate in phase A
+        assert a0[1] == -1 and a0[3] == -1
+        a1 = w.actions(10, np.full(4, 5), rng)  # phase B
+        assert a1[0] == -1 and a1[1] == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            AdversarialFlipFlop(4, half_period=0)

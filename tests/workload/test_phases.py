@@ -1,0 +1,98 @@
+"""Tests for the section-7 phase workloads."""
+
+import numpy as np
+import pytest
+
+from repro.workload.phases import PhaseSpec, PhaseWorkload, Section7Workload
+
+
+class TestPhaseSpec:
+    def test_valid(self):
+        p = PhaseSpec(g=0.5, c=0.3, start=0, end=10)
+        assert p.g == 0.5
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(g=1.5, c=0.0, start=0, end=1)
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(g=0.5, c=0.5, start=5, end=4)
+
+
+class TestPhaseWorkload:
+    def test_active_phase_generates(self, rng):
+        w = PhaseWorkload([[PhaseSpec(1.0, 0.0, 0, 100)]])
+        a = w.actions(50, np.zeros(1), rng)
+        assert a[0] == 1
+
+    def test_outside_phase_idle(self, rng):
+        w = PhaseWorkload([[PhaseSpec(1.0, 1.0, 10, 20)]])
+        a = w.actions(5, np.full(1, 9), rng)
+        assert a[0] == 0
+
+    def test_inclusive_bounds(self, rng):
+        w = PhaseWorkload([[PhaseSpec(1.0, 0.0, 10, 20)]])
+        assert w.actions(10, np.zeros(1), rng)[0] == 1
+        assert w.actions(20, np.zeros(1), rng)[0] == 1
+        assert w.actions(21, np.zeros(1), rng)[0] == 0
+
+    def test_first_matching_phase_wins(self, rng):
+        w = PhaseWorkload(
+            [[PhaseSpec(1.0, 0.0, 0, 50), PhaseSpec(0.0, 1.0, 40, 60)]]
+        )
+        assert w.actions(45, np.full(1, 5), rng)[0] == 1
+
+
+class TestSection7:
+    def test_layout_covers_horizon(self):
+        w = Section7Workload(8, 300, layout_rng=0)
+        g, c = w.phase_tables
+        assert g.shape == (300, 8)
+        assert (g >= 0.1).all() and (g <= 0.9).all()
+        assert (c >= 0.1).all() and (c <= 0.7).all()
+
+    def test_phase_lengths_in_range(self):
+        """Phase boundaries occur only at multiples within [len_l, len_h]
+        (boundary changes in the g table)."""
+        w = Section7Workload(4, 2000, len_range=(150, 400), layout_rng=1)
+        g, _ = w.phase_tables
+        for i in range(4):
+            col = g[:, i]
+            changes = np.nonzero(np.diff(col) != 0)[0] + 1
+            boundaries = [0, *changes.tolist()]
+            for a, b in zip(boundaries, boundaries[1:]):
+                assert 150 <= b - a <= 400
+
+    def test_lazy_layout_from_actions_rng(self):
+        w = Section7Workload(4, 100)
+        rng = np.random.default_rng(0)
+        w.actions(0, np.zeros(4), rng)
+        assert w.phase_tables[0].shape == (100, 4)
+
+    def test_phase_tables_before_layout_raises(self):
+        with pytest.raises(RuntimeError):
+            Section7Workload(4, 100).phase_tables
+
+    def test_beyond_horizon_idle(self, rng):
+        w = Section7Workload(4, 50, layout_rng=2)
+        a = w.actions(50, np.full(4, 5), rng)
+        assert (a == 0).all()
+
+    def test_reproducible_layout(self):
+        a = Section7Workload(4, 100, layout_rng=3).phase_tables[0]
+        b = Section7Workload(4, 100, layout_rng=3).phase_tables[0]
+        assert np.array_equal(a, b)
+
+    def test_paper_defaults(self):
+        w = Section7Workload()
+        assert w.n == 64 and w.horizon == 500
+        assert w.g_range == (0.1, 0.9)
+        assert w.c_range == (0.1, 0.7)
+        assert w.len_range == (150, 400)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Section7Workload(0, 10)
+        with pytest.raises(ValueError):
+            Section7Workload(4, 10, len_range=(0, 5))
