@@ -27,6 +27,7 @@ paper-vs-measured record of every table and figure.
 from repro.params import LBParams, ParamError
 from repro.rng import RngFactory
 from repro.core.engine import Engine, EngineConfig
+from repro.observability import MetricsRegistry, Profiler, Tracer
 from repro.simulation.driver import Simulation, run_simulation
 from repro.simulation.result import RunResult
 
@@ -41,5 +42,8 @@ __all__ = [
     "Simulation",
     "run_simulation",
     "RunResult",
+    "Tracer",
+    "MetricsRegistry",
+    "Profiler",
     "__version__",
 ]

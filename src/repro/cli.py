@@ -1,4 +1,4 @@
-"""Command line interface: regenerate any paper artifact.
+"""Command line interface: regenerate any paper artifact, inspect runs.
 
 Usage::
 
@@ -12,6 +12,19 @@ Usage::
 
 Every command prints an ASCII rendering; ``--out DIR`` additionally
 writes the raw series as CSV files.
+
+Observability tools (see docs/OBSERVABILITY.md)::
+
+    repro trace [--n 16] [--steps 200] [--seed 0] [--f 1.3] [--delta 2]
+                [--trace-out trace.ndjson]
+    repro trace --diff a.ndjson b.ndjson
+    repro profile [--n 64] [--steps 300] [--seed 0]
+
+``repro trace`` records one deterministic §7 run with the structured
+event tracer on, prints a summary, cross-checks the trace against the
+run's aggregate counters, and (with ``--trace-out``) exports the
+schema-validated NDJSON.  ``--diff`` compares two recorded traces.
+``repro profile`` times the engine's hot sections for one run.
 """
 
 from __future__ import annotations
@@ -49,13 +62,29 @@ def _build_parser() -> argparse.ArgumentParser:
             "locality",
             "sensitivity",
             "all",
+            "trace",
+            "profile",
         ],
-        help="artifact to regenerate",
+        help="artifact to regenerate, or an observability tool (trace/profile)",
     )
     p.add_argument("--runs", type=int, default=None, help="runs per config (paper: 100)")
     p.add_argument("--trials", type=int, default=20_000, help="MC trials (fig6/theorem12)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", type=Path, default=None, help="directory for CSV output")
+    # trace / profile options
+    p.add_argument("--n", type=int, default=16, help="network size (trace/profile)")
+    p.add_argument("--steps", type=int, default=200, help="ticks (trace/profile)")
+    p.add_argument("--f", type=float, default=1.3, help="trigger factor (trace/profile)")
+    p.add_argument("--delta", type=int, default=2, help="partners (trace/profile)")
+    p.add_argument("--cap", type=int, default=4, help="borrow capacity C (trace/profile)")
+    p.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="write the recorded trace as NDJSON to this file (trace)",
+    )
+    p.add_argument(
+        "--diff", type=Path, nargs=2, metavar=("A", "B"), default=None,
+        help="diff two recorded NDJSON traces instead of recording (trace)",
+    )
     return p
 
 
@@ -121,7 +150,91 @@ def _run_one(cmd: str, args: argparse.Namespace) -> str:
                 [latency, res.final_cv(), res.total_ops, res.dropped_ops]
             )
         return render_table(["latency", "final CV", "ops", "dropped"], rows)
+    if cmd == "trace":
+        return _run_trace(args)
+    if cmd == "profile":
+        return _run_profile(args)
     raise ValueError(f"unknown command {cmd}")
+
+
+def _traced_run(args: argparse.Namespace, **observers):
+    """One deterministic §7 run with the given observability objects."""
+    from repro.params import LBParams
+    from repro.simulation.driver import run_simulation
+    from repro.workload import Section7Workload
+
+    params = LBParams(f=args.f, delta=args.delta, C=args.cap)
+    workload = Section7Workload(args.n, args.steps, layout_rng=args.seed)
+    return run_simulation(
+        args.n, params, workload, args.steps, seed=args.seed, **observers
+    )
+
+
+def _run_trace(args: argparse.Namespace) -> str:
+    from repro.experiments.report import render_table
+    from repro.observability import (
+        Tracer,
+        diff_summaries,
+        reconcile_trace,
+        render_summary,
+        summarise_trace,
+        validate_ndjson,
+    )
+    from repro.observability.tracer import read_ndjson
+
+    if args.diff:
+        a_path, b_path = args.diff
+        a = summarise_trace(read_ndjson(a_path))
+        b = summarise_trace(read_ndjson(b_path))
+        rows = [
+            [key, va, vb, dv] for key, va, vb, dv in diff_summaries(a, b)
+        ]
+        return render_table([" key", a_path.name, b_path.name, "delta"], rows)
+
+    tracer = Tracer()
+    res = _traced_run(args, tracer=tracer)
+    lines = [
+        f"traced run: n={args.n} steps={args.steps} "
+        f"f={args.f} delta={args.delta} C={args.cap} seed={args.seed}",
+        "",
+        render_summary(summarise_trace(tracer.events)),
+        "",
+    ]
+    problems = reconcile_trace(tracer.events, res)
+    if problems:
+        lines.append("reconciliation with run aggregates FAILED:")
+        lines.extend(f"  - {p}" for p in problems)
+    else:
+        lines.append(
+            "reconciliation with run aggregates: OK "
+            f"(ops={res.total_ops}, migrated={res.packets_migrated})"
+        )
+    if args.trace_out:
+        args.trace_out.parent.mkdir(parents=True, exist_ok=True)
+        count = tracer.to_ndjson(args.trace_out)
+        validate_ndjson(args.trace_out)
+        lines.append(f"wrote {count} events to {args.trace_out} (schema valid)")
+    return "\n".join(lines)
+
+
+def _run_profile(args: argparse.Namespace) -> str:
+    from repro.experiments.report import render_table
+    from repro.observability import Profiler
+
+    profiler = Profiler()
+    res = _traced_run(args, profiler=profiler)
+    rows = [
+        [name, calls, total_ms, mean_us, min_us, max_us]
+        for name, calls, total_ms, mean_us, min_us, max_us in profiler.summary()
+    ]
+    table = render_table(
+        ["section", "calls", "total ms", "mean µs", "min µs", "max µs"], rows
+    )
+    return (
+        f"profiled run: n={args.n} steps={args.steps} "
+        f"f={args.f} delta={args.delta} C={args.cap} seed={args.seed} "
+        f"(ops={res.total_ops})\n\n{table}"
+    )
 
 
 _ALL = [
@@ -147,6 +260,7 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         print("available artifacts:", ", ".join(_ALL))
+        print("observability tools: trace, profile (docs/OBSERVABILITY.md)")
         return 0
     commands = _ALL if args.command == "all" else [args.command]
     for cmd in commands:

@@ -24,6 +24,28 @@ The A3 ablation (``benchmarks/test_bench_async.py``) uses this to show
 the paper's synchronous-model conclusions carry over: balance quality
 degrades only mildly with latency, and the f/delta trade-offs keep
 their ordering.
+
+Concurrency model
+-----------------
+The asynchrony is *simulated*, not threaded: a single
+:class:`~repro.simulation.eventqueue.EventQueue` totally orders two
+message kinds — ``action`` (a processor's Poisson clock fires: do one
+workload action, maybe initiate) and ``complete`` (a balancing
+operation's latency elapsed: redistribute among the group, release the
+``busy`` flags).  Handlers run to completion one at a time, so all
+interleaving nondeterminism is concentrated in the queue order and the
+RNG — which makes runs exactly reproducible from one seed, races
+included: the load redistribution is computed from the group's loads at
+*completion* time, which may have drifted since initiation, precisely
+the race a real network exhibits.
+
+When a :class:`~repro.observability.tracer.Tracer` is attached, every
+message delivery is emitted as an ``async_deliver`` event and every
+completed/dropped operation as ``async_balance`` / ``async_drop``
+(see ``docs/OBSERVABILITY.md``).  The tracer is single-process state
+here — one engine, one buffer; merging across worker processes only
+arises for the *metrics registry* path used by the multi-run harness
+(see :mod:`repro.simulation.parallel`).
 """
 
 from __future__ import annotations
@@ -36,6 +58,7 @@ import numpy as np
 from repro.core.balance import even_split
 from repro.core.selection import CandidateSelector, GlobalRandomSelector
 from repro.core.triggers import FactorTrigger, TriggerDecision
+from repro.observability.tracer import NULL_TRACER, Tracer
 from repro.params import LBParams
 from repro.rng import make_rng
 from repro.simulation.eventqueue import EventQueue
@@ -140,6 +163,7 @@ class AsyncEngine:
         snapshot_dt: float = 1.0,
         seed: int | np.random.Generator | None = 0,
         selector: CandidateSelector | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if latency < 0:
             raise ValueError(f"latency must be >= 0, got {latency}")
@@ -154,6 +178,8 @@ class AsyncEngine:
         self.rng = make_rng(seed)
         self.selector = selector or GlobalRandomSelector(self.n)
         self.trigger = FactorTrigger(params.f)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace = bool(self.tracer.enabled)
 
         self.l = np.zeros(self.n, dtype=np.int64)
         self.l_old = np.zeros(self.n, dtype=np.int64)
@@ -182,6 +208,13 @@ class AsyncEngine:
                 next_snap += self.snapshot_dt
             self.time = ev.time
             kind = ev.payload[0]
+            if self._trace:
+                self.tracer.emit(
+                    "async_deliver",
+                    time=float(ev.time),
+                    kind="action" if kind == _ACTION else "complete",
+                    proc=int(ev.payload[1]),
+                )
             if kind == _ACTION:
                 self._do_action(ev.payload[1])
             else:
@@ -232,6 +265,11 @@ class AsyncEngine:
             # re-anchor the trigger so a refused processor does not
             # retry on every subsequent action while the net is busy
             self.l_old[i] = int(self.l[i])
+            if self._trace:
+                self.tracer.emit(
+                    "async_drop", time=float(self.time), initiator=int(i),
+                    declined=len(partners),
+                )
             return
         group = [i, *accepted]
         for p in group:
@@ -244,7 +282,16 @@ class AsyncEngine:
         total = int(before.sum())
         after = even_split(total, len(group), start=int(self.rng.integers(len(group))))
         self.l[parts] = after
-        self.packets_migrated += int(np.maximum(after - before, 0).sum())
+        migrated = int(np.maximum(after - before, 0).sum())
+        self.packets_migrated += migrated
         self.l_old[parts] = self.l[parts]
         self.busy[parts] = False
         self.total_ops += 1
+        if self._trace:
+            self.tracer.emit(
+                "async_balance", time=float(self.time), initiator=int(i),
+                group=[int(p) for p in group],
+                loads_before=[int(v) for v in before],
+                loads_after=[int(v) for v in after],
+                migrated=migrated,
+            )

@@ -15,7 +15,38 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["BalanceEvent", "ops_per_tick", "interop_times"]
+__all__ = ["BalanceEvent", "greedy_transfers", "ops_per_tick", "interop_times"]
+
+
+def greedy_transfers(
+    participants: Iterable[int],
+    before: Iterable[int],
+    after: Iterable[int],
+) -> list[tuple[int, int, int]]:
+    """Minimal per-pair transfer set ``(src, dst, amount)`` realising a
+    re-deal.
+
+    The snake deal does not define *which* packet went where; this
+    reconstructs a transfer set greedily (senders = negative delta,
+    receivers = positive delta), which is what a real implementation
+    would ship and hence what the hop-cost model and the ``transfer``
+    trace events charge.
+    """
+    delta = [a - b for a, b in zip(after, before)]
+    senders = [[p, -d] for p, d in zip(participants, delta) if d < 0]
+    receivers = [[p, d] for p, d in zip(participants, delta) if d > 0]
+    out: list[tuple[int, int, int]] = []
+    si = 0
+    for dst, need in receivers:
+        while need > 0:
+            src, have = senders[si]
+            take = min(have, need)
+            out.append((src, dst, take))
+            need -= take
+            senders[si][1] = have - take
+            if senders[si][1] == 0:
+                si += 1
+    return out
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,31 +77,12 @@ class BalanceEvent:
     def transfers(self) -> list[tuple[int, int, int]]:
         """Approximate per-pair transfers ``(src, dst, amount)``.
 
-        The snake deal does not define *which* packet went where; this
-        reconstructs a minimal transfer set greedily (senders = negative
-        delta, receivers = positive delta), which is what a real
-        implementation would ship and hence what the hop-cost model
-        charges.
+        See :func:`greedy_transfers` (shared with the ``transfer`` trace
+        events so the hop-cost model and the tracer charge identically).
         """
-        delta = [a - b for a, b in zip(self.loads_after, self.loads_before)]
-        senders = [
-            [p, -d] for p, d in zip(self.participants, delta) if d < 0
-        ]
-        receivers = [
-            [p, d] for p, d in zip(self.participants, delta) if d > 0
-        ]
-        out: list[tuple[int, int, int]] = []
-        si = 0
-        for dst, need in receivers:
-            while need > 0:
-                src, have = senders[si]
-                take = min(have, need)
-                out.append((src, dst, take))
-                need -= take
-                senders[si][1] = have - take
-                if senders[si][1] == 0:
-                    si += 1
-        return out
+        return greedy_transfers(
+            self.participants, self.loads_before, self.loads_after
+        )
 
 
 def ops_per_tick(events: Iterable[BalanceEvent], steps: int) -> np.ndarray:

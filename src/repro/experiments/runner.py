@@ -10,6 +10,7 @@ import numpy as np
 from repro.core.borrowing import BorrowCounters
 from repro.experiments.config import QualityConfig
 from repro.metrics.collector import EnvelopeSeries, MultiRunCollector
+from repro.observability.metrics import MetricsRegistry
 from repro.rng import RngFactory
 from repro.simulation.driver import run_simulation
 from repro.simulation.parallel import parallel_map
@@ -19,10 +20,15 @@ __all__ = ["QualityResult", "quality_experiment", "repeat_lm_runs"]
 
 
 def _one_quality_run(
-    args: tuple[QualityConfig, int]
-) -> tuple[np.ndarray, BorrowCounters, int, int]:
-    """One §7 run (module-level so it pickles for the process pool)."""
-    config, r = args
+    args: tuple[QualityConfig, int, bool]
+) -> tuple[np.ndarray, BorrowCounters, int, int, dict | None]:
+    """One §7 run (module-level so it pickles for the process pool).
+
+    When metrics collection is requested the worker builds a *local*
+    registry and returns its plain-dict payload — the parent merges
+    payloads across processes (see :mod:`repro.simulation.parallel`).
+    """
+    config, r, collect_metrics = args
     run_factory = RngFactory(config.seed).child_factory("run", r)
     workload = Section7Workload(
         config.n,
@@ -32,6 +38,7 @@ def _one_quality_run(
         len_range=config.len_range,
         layout_rng=run_factory.named("layout"),
     )
+    metrics = MetricsRegistry() if collect_metrics else None
     res = run_simulation(
         config.n,
         config.params,
@@ -39,8 +46,10 @@ def _one_quality_run(
         config.steps,
         seed=run_factory,
         meta={"run": r},
+        metrics=metrics,
     )
-    return res.loads, res.counters, res.total_ops, res.packets_migrated
+    payload = metrics.as_dict() if metrics is not None else None
+    return res.loads, res.counters, res.total_ops, res.packets_migrated, payload
 
 
 @dataclass(frozen=True, slots=True)
@@ -61,10 +70,16 @@ class QualityResult:
     final_rel_spreads: np.ndarray
     """Per-run end-state ``(max - min) / mean`` — the sample the
     bootstrap confidence intervals run on."""
+    metrics: MetricsRegistry | None = None
+    """Cross-process merge of the per-run metric registries (only when
+    the experiment ran with ``collect_metrics=True``)."""
 
 
 def quality_experiment(
-    config: QualityConfig, *, jobs: int | None = None
+    config: QualityConfig,
+    *,
+    jobs: int | None = None,
+    collect_metrics: bool = False,
 ) -> QualityResult:
     """Run one section-7 configuration ``config.runs`` times.
 
@@ -73,20 +88,28 @@ def quality_experiment(
     and fresh balancing randomness, all derived from ``config.seed``
     via structural RNG keys — results are identical for any ``jobs``
     (set ``REPRO_JOBS`` or pass ``jobs`` to parallelise over runs).
+
+    With ``collect_metrics=True`` every run also maintains a local
+    :class:`~repro.observability.metrics.MetricsRegistry`; the worker
+    payloads are merged into ``QualityResult.metrics`` (additive for
+    counters/histograms, so the merge is identical for any ``jobs``).
     """
     collector = MultiRunCollector(snapshot_ticks=config.snapshot_ticks)
     counters: list[BorrowCounters] = []
+    merged = MetricsRegistry() if collect_metrics else None
     ops = 0.0
     migrated = 0.0
     final_spreads: list[float] = []
-    tasks = [(config, r) for r in range(config.runs)]
-    for loads, run_counters, run_ops, run_migrated in parallel_map(
+    tasks = [(config, r, collect_metrics) for r in range(config.runs)]
+    for loads, run_counters, run_ops, run_migrated, payload in parallel_map(
         _one_quality_run, tasks, jobs=jobs
     ):
         collector.add(loads)
         counters.append(run_counters)
         ops += run_ops
         migrated += run_migrated
+        if merged is not None and payload is not None:
+            merged.merge_dict(payload)
         final = loads[-1].astype(float)
         final_spreads.append(
             float((final.max() - final.min()) / max(final.mean(), 1.0))
@@ -100,6 +123,7 @@ def quality_experiment(
         mean_ops=ops / config.runs,
         mean_migrated=migrated / config.runs,
         final_rel_spreads=np.asarray(final_spreads),
+        metrics=merged,
     )
 
 

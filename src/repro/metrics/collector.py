@@ -67,13 +67,45 @@ class MultiRunCollector:
         self._snap_sum: dict[int, np.ndarray] = {}
         self._snap_min: dict[int, np.ndarray] = {}
         self._snap_max: dict[int, np.ndarray] = {}
+        self._shape: tuple[int, int] | None = None
+        self._dtype: np.dtype | None = None
         self.runs = 0
 
-    def add(self, loads: np.ndarray) -> None:
-        """Fold in one run's ``(steps+1, n)`` load history."""
-        loads = np.asarray(loads)
+    def _validate(self, loads: np.ndarray) -> None:
+        """Reject malformed or inconsistent run series up front, with a
+        message naming the offence — instead of the cryptic numpy
+        broadcast error a mismatched snapshot row used to produce."""
         if loads.ndim != 2:
             raise ValueError(f"loads must be 2-D, got shape {loads.shape}")
+        if not np.issubdtype(loads.dtype, np.number) or np.issubdtype(
+            loads.dtype, np.complexfloating
+        ):
+            raise ValueError(
+                f"loads must be real-numeric, got dtype {loads.dtype}"
+            )
+        if self._shape is None:
+            self._shape = loads.shape
+            self._dtype = loads.dtype
+            return
+        if loads.shape != self._shape:
+            raise ValueError(
+                f"run series shape mismatch: this run is {loads.shape} "
+                f"(steps+1, n), earlier runs were {self._shape}"
+            )
+        if loads.dtype != self._dtype:
+            raise ValueError(
+                f"run series dtype mismatch: this run is {loads.dtype}, "
+                f"earlier runs were {self._dtype}"
+            )
+
+    def add(self, loads: np.ndarray) -> None:
+        """Fold in one run's ``(steps+1, n)`` load history.
+
+        Every run must share the first run's shape and dtype; a clear
+        :class:`ValueError` is raised otherwise.
+        """
+        loads = np.asarray(loads)
+        self._validate(loads)
         per_tick_mean = loads.mean(axis=1)
         per_tick_min = loads.min(axis=1)
         per_tick_max = loads.max(axis=1)
@@ -84,8 +116,6 @@ class MultiRunCollector:
             self._max = per_tick_max.astype(np.int64)
             self._spread_sum = per_tick_spread
         else:
-            if self._sum.shape != per_tick_mean.shape:
-                raise ValueError("run length mismatch across runs")
             self._sum += per_tick_mean
             np.minimum(self._min, per_tick_min, out=self._min)
             np.maximum(self._max, per_tick_max, out=self._max)

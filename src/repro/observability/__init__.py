@@ -1,0 +1,84 @@
+"""Observability: structured tracing, metrics, and profiling.
+
+The paper's statements (Theorems 1-4, the section-5 variation
+recursion, the section-6 cost lemmas) are all *per-tick, per-processor*
+claims — load ratios, balancing-operation counts, borrow/debt traffic.
+The experiment harness historically surfaced only end-of-run aggregates
+(:class:`repro.metrics.collector.MultiRunCollector` envelopes).  This
+package turns every simulation into an inspectable trace:
+
+* :mod:`repro.observability.tracer` — a ring-buffered structured event
+  tracer with NDJSON export.  Zero overhead when disabled: the engines
+  hold a plain boolean and skip every emission site with a single
+  branch.
+* :mod:`repro.observability.schema` — the instrumentation contract: a
+  registry of every event type and its required fields, plus
+  validators for single events, in-memory traces and NDJSON files.
+  ``docs/OBSERVABILITY.md`` is the prose rendering of this registry and
+  a smoke test keeps the two in lock-step.
+* :mod:`repro.observability.metrics` — counters / gauges / histograms
+  in a :class:`MetricsRegistry` that the simulation driver updates per
+  tick and that merges across worker processes (the registries travel
+  as plain dicts through the process pool).
+* :mod:`repro.observability.profiler` — context-manager wall-clock
+  timers around the hot paths (trigger evaluation, partner selection,
+  the snake deal), mergeable across processes like the metrics.
+* :mod:`repro.observability.analysis` — summarise, reconcile and diff
+  recorded traces (the ``repro trace`` CLI is a thin wrapper).
+
+The instrumentation contract — which events exist, what fields they
+carry and which theorem or figure each one supports — is documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.observability.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.observability.schema import (
+    EVENT_SCHEMAS,
+    EventSchema,
+    SchemaError,
+    validate_event,
+    validate_ndjson,
+    validate_trace,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_worker_metrics,
+)
+from repro.observability.profiler import NULL_PROFILER, NullProfiler, Profiler
+from repro.observability.analysis import (
+    diff_summaries,
+    loads_from_trace,
+    ops_per_tick_from_trace,
+    reconcile_trace,
+    render_summary,
+    summarise_trace,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "EventSchema",
+    "EVENT_SCHEMAS",
+    "SchemaError",
+    "validate_event",
+    "validate_trace",
+    "validate_ndjson",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_worker_metrics",
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "summarise_trace",
+    "render_summary",
+    "diff_summaries",
+    "ops_per_tick_from_trace",
+    "loads_from_trace",
+    "reconcile_trace",
+]

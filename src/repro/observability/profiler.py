@@ -1,0 +1,173 @@
+"""Profiling hooks: wall-clock section timers for the hot paths.
+
+The engines wrap their hot sections — trigger evaluation, partner
+selection, the snake deal — in :meth:`Profiler.section` context
+managers, but only when a profiler was passed in: like the tracer, the
+hot path holds a cached boolean and skips the instrumentation with one
+branch when profiling is off, so a non-profiled run pays nothing.
+
+Timings use :func:`time.perf_counter_ns` (monotonic, ns resolution).
+Section stats merge across processes the same way the metrics registry
+does — workers return :meth:`Profiler.as_dict` payloads, the parent
+folds them with :meth:`Profiler.merge_dict`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+__all__ = ["SectionStats", "Profiler", "NullProfiler", "NULL_PROFILER"]
+
+
+@dataclass(slots=True)
+class SectionStats:
+    """Aggregate wall-clock statistics of one named section."""
+
+    count: int = 0
+    total_ns: int = 0
+    min_ns: int = field(default=2**63 - 1)
+    max_ns: int = 0
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+    def observe_ns(self, ns: int) -> None:
+        self.count += 1
+        self.total_ns += ns
+        if ns < self.min_ns:
+            self.min_ns = ns
+        if ns > self.max_ns:
+            self.max_ns = ns
+
+    def fold(self, other: "SectionStats") -> None:
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total_ns += other.total_ns
+        self.min_ns = min(self.min_ns, other.min_ns)
+        self.max_ns = max(self.max_ns, other.max_ns)
+
+
+class Profiler:
+    """Named wall-clock section timers.
+
+    >>> prof = Profiler()
+    >>> with prof.section("deal"):
+    ...     pass
+    >>> prof.records["deal"].count
+    1
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.records: dict[str, SectionStats] = {}
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter_ns()
+        try:
+            yield
+        finally:
+            self.observe_ns(name, time.perf_counter_ns() - t0)
+
+    def observe_ns(self, name: str, ns: int) -> None:
+        stats = self.records.get(name)
+        if stats is None:
+            stats = self.records[name] = SectionStats()
+        stats.observe_ns(ns)
+
+    # -- reporting -------------------------------------------------------
+
+    def summary(self) -> list[tuple[str, int, float, float, float, float]]:
+        """Rows ``(section, calls, total_ms, mean_us, min_us, max_us)``
+        sorted by total time descending."""
+        rows = []
+        for name, s in self.records.items():
+            rows.append(
+                (
+                    name,
+                    s.count,
+                    s.total_ns / 1e6,
+                    s.mean_ns / 1e3,
+                    (s.min_ns if s.count else 0) / 1e3,
+                    s.max_ns / 1e3,
+                )
+            )
+        rows.sort(key=lambda r: -r[2])
+        return rows
+
+    # -- transport / merging --------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Plain-data snapshot for cross-process transport."""
+        return {
+            name: {
+                "count": s.count,
+                "total_ns": s.total_ns,
+                "min_ns": s.min_ns,
+                "max_ns": s.max_ns,
+            }
+            for name, s in sorted(self.records.items())
+        }
+
+    def merge_dict(self, payload: Mapping) -> None:
+        for name, data in payload.items():
+            other = SectionStats(
+                count=data["count"],
+                total_ns=data["total_ns"],
+                min_ns=data["min_ns"],
+                max_ns=data["max_ns"],
+            )
+            stats = self.records.get(name)
+            if stats is None:
+                self.records[name] = other
+            else:
+                stats.fold(other)
+
+    def merge(self, other: "Profiler") -> None:
+        self.merge_dict(other.as_dict())
+
+
+class _NullSection:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SECTION = _NullSection()
+
+
+class NullProfiler:
+    """Disabled profiler: :meth:`section` is a shared no-op context."""
+
+    __slots__ = ()
+
+    enabled = False
+    records: dict[str, SectionStats] = {}
+
+    def section(self, name: str) -> _NullSection:
+        return _NULL_SECTION
+
+    def observe_ns(self, name: str, ns: int) -> None:
+        pass
+
+    def summary(self) -> list:
+        return []
+
+    def as_dict(self) -> dict:
+        return {}
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL_PROFILER = NullProfiler()

@@ -10,6 +10,15 @@ Randomness is split into two independent streams (workload vs engine)
 derived from one root seed via :class:`repro.rng.RngFactory`, so
 experiments can hold the workload fixed while varying balancing
 randomness and vice versa.
+
+Observability: pass a :class:`~repro.observability.tracer.Tracer` to
+record a structured event stream (the driver adds one ``tick`` snapshot
+event per global tick on top of the engine's events), a
+:class:`~repro.observability.metrics.MetricsRegistry` to maintain
+per-tick gauges/histograms plus end-of-run counters, and a
+:class:`~repro.observability.profiler.Profiler` for hot-path timings.
+All three default to off and cost nothing when off.  The emitted event
+types and metric names are documented in ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -21,6 +30,9 @@ import numpy as np
 from repro.core.borrowing import BorrowCounters
 from repro.core.engine import Engine, EngineConfig
 from repro.core.selection import CandidateSelector
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.profiler import Profiler
+from repro.observability.tracer import NULL_TRACER, Tracer
 from repro.params import LBParams
 from repro.rng import RngFactory
 from repro.simulation.result import RunResult
@@ -48,6 +60,8 @@ class Simulation:
         workload: WorkloadModel,
         *,
         workload_rng: np.random.Generator,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if balancer.n != workload.n:
             raise ValueError(
@@ -56,6 +70,9 @@ class Simulation:
         self.balancer = balancer
         self.workload = workload
         self.workload_rng = workload_rng
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace = bool(self.tracer.enabled)
+        self.metrics = metrics
         self.t = 0
         self.snapshots: list[np.ndarray] = [balancer.loads_snapshot()]
 
@@ -65,7 +82,27 @@ class Simulation:
         actions = self.workload.actions(self.t, loads, self.workload_rng)
         self.balancer.step(actions)
         self.t += 1
-        self.snapshots.append(self.balancer.loads_snapshot())
+        snap = self.balancer.loads_snapshot()
+        self.snapshots.append(snap)
+        if self._trace:
+            # the tick event's t indexes the post-tick snapshot (row t
+            # of the RunResult loads); engine events inside this tick
+            # carry t - 1, the tick during which they fired
+            self.tracer.emit(
+                "tick",
+                t=self.t,
+                loads=[int(v) for v in snap],
+                ops=int(getattr(self.balancer, "total_ops", 0)),
+                migrated=int(getattr(self.balancer, "packets_migrated", 0)),
+            )
+        if self.metrics is not None:
+            m = self.metrics
+            m.counter("sim.ticks").inc()
+            lo, hi = int(snap.min()), int(snap.max())
+            m.gauge("load.mean").set(float(snap.mean()))
+            m.gauge("load.min").set(lo)
+            m.gauge("load.max").set(hi)
+            m.histogram("load.spread").observe(hi - lo)
 
     def run(self, steps: int) -> np.ndarray:
         """Advance ``steps`` ticks; return the ``(steps+1, n)`` history."""
@@ -86,6 +123,9 @@ def run_simulation(
     strict_trigger: bool = False,
     check_invariants: bool = False,
     meta: dict[str, Any] | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    profiler: Profiler | None = None,
 ) -> RunResult:
     """Convenience one-shot: build engine + simulation, run, package.
 
@@ -109,9 +149,22 @@ def run_simulation(
         ),
         rng=factory.named("engine"),
         selector=selector,
+        tracer=tracer,
+        profiler=profiler,
     )
-    sim = Simulation(engine, workload, workload_rng=factory.named("workload"))
+    sim = Simulation(
+        engine,
+        workload,
+        workload_rng=factory.named("workload"),
+        tracer=tracer,
+        metrics=metrics,
+    )
     loads = sim.run(steps)
+    if metrics is not None:
+        metrics.counter("engine.balance_ops").inc(engine.total_ops)
+        metrics.counter("engine.packets_migrated").inc(engine.packets_migrated)
+        for key, value in engine.counters.as_dict().items():
+            metrics.counter(f"borrow.{key}").inc(value)
     info: dict[str, Any] = {
         "n": n,
         "steps": steps,

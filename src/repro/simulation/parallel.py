@@ -16,6 +16,42 @@ process-pool map with the properties the experiment harness needs:
 
 Select parallelism with the ``REPRO_JOBS`` environment variable or the
 ``jobs`` parameter of :func:`repro.experiments.runner.quality_experiment`.
+
+Concurrency model
+-----------------
+Workers are separate *processes* (``ProcessPoolExecutor``), not
+threads: simulation runs are CPU-bound numpy work, and process
+isolation is also what guarantees determinism — no shared mutable
+state exists, so results cannot depend on scheduling.  Each task is a
+plain picklable value (config + run index); each worker derives its
+own RNG streams from the task's structural key, runs to completion and
+ships a plain-data result back.  The parent folds results in
+submission order, so any streaming reducer sees the same sequence as a
+serial run.
+
+How observability state crosses the process boundary
+----------------------------------------------------
+Live :class:`~repro.observability.metrics.MetricsRegistry`,
+:class:`~repro.observability.profiler.Profiler` and
+:class:`~repro.observability.tracer.Tracer` objects are per-process;
+they are never shared or locked.  The convention (used by
+:func:`repro.experiments.runner.quality_experiment` and documented in
+``docs/OBSERVABILITY.md``) is serialise-and-reduce:
+
+1. the worker function builds a *local* registry/profiler, runs with
+   it, and returns its ``as_dict()`` payload — nested dicts of
+   numbers, cheap to pickle — alongside the run's other results;
+2. the parent folds payloads into one registry with
+   ``MetricsRegistry.merge_dict`` (or
+   :func:`repro.observability.metrics.merge_worker_metrics`) /
+   ``Profiler.merge_dict`` as they stream back.
+
+Counters and histograms merge additively, so the reduction is
+order-independent and serial-vs-parallel equivalence holds for them
+exactly (the test suite asserts it).  Event *traces* are deliberately
+not merged: a trace is a per-run artifact (events interleaved across
+runs would be meaningless), so tracing multi-run experiments means one
+tracer — and one NDJSON file — per run.
 """
 
 from __future__ import annotations

@@ -104,3 +104,36 @@ class TestAsyncEngine:
         res = eng.run(100.0)
         assert res.total_ops > 0
         assert res.final_cv() < 0.6
+
+
+class TestAsyncTracing:
+    def test_traced_events_validate(self):
+        from repro.observability import Tracer, validate_trace
+
+        rates = ConstantRates(np.full(8, 0.7), np.full(8, 0.3))
+        tracer = Tracer()
+        eng = AsyncEngine(
+            LBParams(f=1.2, delta=2, C=4), rates, latency=0.5, seed=0,
+            tracer=tracer,
+        )
+        eng.run(30.0)
+        counts = validate_trace(tracer.events)
+        assert counts["async_deliver"] > 0
+        assert counts["async_balance"] > 0
+        # event times are the float Poisson clock, non-decreasing per type
+        times = [ev["time"] for ev in tracer.events if ev["type"] == "async_balance"]
+        assert times == sorted(times)
+
+    def test_tracing_does_not_perturb(self):
+        from repro.observability import Tracer
+
+        a = make(seed=3)
+        res_a = a.run(20.0)
+        rates = ConstantRates(np.full(16, 0.7), np.full(16, 0.3))
+        b = AsyncEngine(
+            LBParams(f=1.2, delta=2, C=4), rates, latency=0.1, seed=3,
+            tracer=Tracer(),
+        )
+        res_b = b.run(20.0)
+        assert res_a.total_ops == res_b.total_ops
+        assert np.array_equal(res_a.loads, res_b.loads)

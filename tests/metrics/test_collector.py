@@ -69,3 +69,37 @@ class TestCollector:
         assert np.array_equal(env.max, stacked.max(axis=(0, 2)))
         snap = c.snapshot(3)
         assert np.allclose(snap["mean"], stacked[:, 3, :].mean(axis=0))
+
+
+class TestValidation:
+    """The collector rejects inconsistent run series with clear errors."""
+
+    def test_shape_mismatch_message_names_both_shapes(self):
+        c = MultiRunCollector()
+        c.add(np.zeros((3, 2)))
+        with pytest.raises(ValueError, match=r"\(4, 2\).*\(3, 2\)"):
+            c.add(np.zeros((4, 2)))
+
+    def test_dtype_mismatch(self):
+        c = MultiRunCollector()
+        c.add(np.zeros((3, 2), dtype=np.int64))
+        with pytest.raises(ValueError, match="dtype mismatch"):
+            c.add(np.zeros((3, 2), dtype=float))
+
+    def test_non_numeric_dtype_rejected(self):
+        with pytest.raises(ValueError, match="real-numeric"):
+            MultiRunCollector().add(np.array([["a", "b"], ["c", "d"]]))
+
+    def test_complex_dtype_rejected(self):
+        with pytest.raises(ValueError, match="real-numeric"):
+            MultiRunCollector().add(np.zeros((2, 2), dtype=complex))
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            MultiRunCollector().add(np.zeros((2, 2, 2)))
+
+    def test_consistent_runs_still_accepted(self):
+        c = MultiRunCollector()
+        c.add(np.zeros((3, 2), dtype=np.int64))
+        c.add(np.ones((3, 2), dtype=np.int64))
+        assert c.runs == 2

@@ -56,3 +56,40 @@ class TestExperimentDeterminism:
         assert [c.as_dict() for c in a.counters] == [
             c.as_dict() for c in b.counters
         ]
+
+
+class TestCrossProcessMetrics:
+    """Worker registries must merge identically for any jobs setting."""
+
+    def test_serial_and_parallel_merges_agree(self):
+        from repro.experiments.config import QualityConfig
+        from repro.experiments.runner import quality_experiment
+
+        cfg = QualityConfig(n=8, steps=60, runs=3, seed=4, snapshot_ticks=())
+        a = quality_experiment(cfg, jobs=1, collect_metrics=True)
+        b = quality_experiment(cfg, jobs=2, collect_metrics=True)
+        assert a.metrics is not None and b.metrics is not None
+        pa, pb = a.metrics.as_dict(), b.metrics.as_dict()
+        # counters and histograms are additive, hence order-independent
+        assert pa["counters"] == pb["counters"]
+        assert pa["histograms"] == pb["histograms"]
+        assert set(pa["gauges"]) == set(pb["gauges"])
+
+    def test_merged_counters_cover_all_runs(self):
+        from repro.experiments.config import QualityConfig
+        from repro.experiments.runner import quality_experiment
+
+        cfg = QualityConfig(n=8, steps=60, runs=3, seed=4, snapshot_ticks=())
+        res = quality_experiment(cfg, jobs=2, collect_metrics=True)
+        assert res.metrics.counter("sim.ticks").value == cfg.runs * cfg.steps
+        # engine.balance_ops aggregates every run's operations
+        assert res.metrics.counter("engine.balance_ops").value == pytest.approx(
+            res.mean_ops * cfg.runs
+        )
+
+    def test_metrics_off_by_default(self):
+        from repro.experiments.config import QualityConfig
+        from repro.experiments.runner import quality_experiment
+
+        cfg = QualityConfig(n=8, steps=40, runs=2, seed=1, snapshot_ticks=())
+        assert quality_experiment(cfg, jobs=1).metrics is None

@@ -44,3 +44,44 @@ class TestCli:
     def test_invalid_command(self):
         with pytest.raises(SystemExit):
             main(["nonsense"])
+
+
+class TestObservabilityCommands:
+    def test_trace_records_and_reconciles(self, capsys):
+        assert main(["trace", "--n", "8", "--steps", "40", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "events.total" in out
+        assert "reconciliation with run aggregates: OK" in out
+
+    def test_trace_writes_valid_ndjson(self, tmp_path, capsys):
+        path = tmp_path / "t.ndjson"
+        assert main([
+            "trace", "--n", "8", "--steps", "40", "--seed", "1",
+            "--trace-out", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(schema valid)" in out
+        from repro.observability import validate_ndjson
+
+        assert sum(validate_ndjson(path).values()) > 0
+
+    def test_trace_diff(self, tmp_path, capsys):
+        a, b = tmp_path / "a.ndjson", tmp_path / "b.ndjson"
+        main(["trace", "--n", "8", "--steps", "40", "--seed", "1",
+              "--trace-out", str(a)])
+        main(["trace", "--n", "8", "--steps", "40", "--seed", "2",
+              "--trace-out", str(b)])
+        capsys.readouterr()
+        assert main(["trace", "--diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "delta" in out and "balance.ops" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "--n", "8", "--steps", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "trigger.check" in out and "balance.deal" in out
+
+    def test_list_mentions_tools(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "trace" in out and "profile" in out
