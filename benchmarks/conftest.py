@@ -13,14 +13,20 @@ only the envelopes tighten).
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
+from typing import Any
 
 import pytest
 
 os.environ.setdefault("REPRO_RUNS", "10")
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: committed engine microbenchmark baseline (regenerate with
+#: ``repro bench --baseline <prev-rev>``; see docs/PERFORMANCE.md)
+BENCH_ENGINE_JSON = RESULTS_DIR / "BENCH_engine.json"
 
 
 @pytest.fixture(scope="session")
@@ -32,3 +38,10 @@ def results_dir() -> Path:
 def save(results_dir: Path, name: str, text: str) -> None:
     """Persist a rendered artifact under results/."""
     (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def save_json(results_dir: Path, name: str, payload: Any) -> None:
+    """Persist a machine-readable artifact under results/."""
+    (results_dir / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

@@ -1,0 +1,90 @@
+"""Engine tick microbenchmarks + the tier-2 perf regression smoke.
+
+Two roles:
+
+* regenerate a small microbench report through the same harness the
+  ``repro bench`` CLI uses (JSON artifact via ``save_json``), proving
+  the harness end to end;
+* ``perf_smoke`` (also ``tier2``): re-measure the ``n=256`` points and
+  fail when ticks/sec regresses more than 30% against the committed
+  ``results/BENCH_engine.json`` baseline.  Best-of-three timing
+  filters scheduler noise; regenerate the baseline on a quiet machine
+  with ``repro bench --baseline <prev-rev>`` when the engine
+  legitimately changes speed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.conftest import BENCH_ENGINE_JSON, save_json
+from repro.experiments.microbench import (
+    PROFILES,
+    bench_report,
+    run_microbench,
+)
+
+SMOKE_N = 256
+SMOKE_PROFILES = ("quiet", "stationary")
+ALLOWED_REGRESSION = 0.30
+BEST_OF = 3
+
+
+def test_report_covers_all_profiles(results_dir):
+    doc = bench_report(ns=(64,), baseline_rev=None)
+    assert doc["schema"] == "repro.bench_engine.v1"
+    assert {r["profile"] for r in doc["runs"]} == set(PROFILES)
+    for rec in doc["runs"]:
+        assert rec["ticks_per_sec"] > 0
+        assert rec["peak_rss_bytes"] > 0
+        assert "sections" in rec
+        assert "_l" not in rec  # internal check vector must not leak
+    save_json(results_dir, "bench_engine_n64", doc)
+
+
+def test_quiet_profile_is_event_free():
+    rec = run_microbench(64, "quiet", ticks=50)
+    assert rec["total_ops"] == 0
+    assert rec["events"] == {}
+
+
+def test_fast_and_scalar_paths_agree_on_bench_workloads():
+    for profile in PROFILES:
+        fast = run_microbench(64, profile, ticks=40, fast_path=True)
+        slow = run_microbench(64, profile, ticks=40, fast_path=False)
+        assert fast["_l"] == slow["_l"], profile
+        assert fast["events"] == slow["events"], profile
+        assert fast["total_ops"] == slow["total_ops"], profile
+
+
+@pytest.mark.tier2
+@pytest.mark.perf_smoke
+@pytest.mark.parametrize("profile", SMOKE_PROFILES)
+def test_no_perf_regression_at_n256(profile):
+    if not BENCH_ENGINE_JSON.exists():
+        pytest.skip("no committed BENCH_engine.json baseline")
+    doc = json.loads(BENCH_ENGINE_JSON.read_text())
+    committed = next(
+        (
+            r
+            for r in doc["runs"]
+            if r["n"] == SMOKE_N and r["profile"] == profile
+        ),
+        None,
+    )
+    assert committed is not None, (
+        f"baseline has no n={SMOKE_N} {profile} run — regenerate it"
+    )
+    best = max(
+        run_microbench(SMOKE_N, profile)["ticks_per_sec"]
+        for _ in range(BEST_OF)
+    )
+    floor = committed["ticks_per_sec"] * (1 - ALLOWED_REGRESSION)
+    assert best >= floor, (
+        f"{profile}@{SMOKE_N}: {best:.1f} ticks/s is >"
+        f"{ALLOWED_REGRESSION:.0%} below the committed "
+        f"{committed['ticks_per_sec']:.1f} (floor {floor:.1f}); if the "
+        "slowdown is intended, regenerate results/BENCH_engine.json"
+    )

@@ -19,12 +19,18 @@ Observability tools (see docs/OBSERVABILITY.md)::
                 [--trace-out trace.ndjson]
     repro trace --diff a.ndjson b.ndjson
     repro profile [--n 64] [--steps 300] [--seed 0]
+    repro bench [--sizes 64,256,1024,4096] [--baseline REV] [--out DIR]
 
 ``repro trace`` records one deterministic §7 run with the structured
 event tracer on, prints a summary, cross-checks the trace against the
 run's aggregate counters, and (with ``--trace-out``) exports the
 schema-validated NDJSON.  ``--diff`` compares two recorded traces.
 ``repro profile`` times the engine's hot sections for one run.
+``repro bench`` runs the engine tick microbenchmarks
+(:mod:`repro.experiments.microbench`) and writes
+``results/BENCH_engine.json``; ``--baseline REV`` additionally re-runs
+the engine of an older git revision on the same action streams and
+records the speedup (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -64,8 +70,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "all",
             "trace",
             "profile",
+            "bench",
         ],
-        help="artifact to regenerate, or an observability tool (trace/profile)",
+        help="artifact to regenerate, or an observability tool (trace/profile/bench)",
     )
     p.add_argument("--runs", type=int, default=None, help="runs per config (paper: 100)")
     p.add_argument("--trials", type=int, default=20_000, help="MC trials (fig6/theorem12)")
@@ -84,6 +91,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--diff", type=Path, nargs=2, metavar=("A", "B"), default=None,
         help="diff two recorded NDJSON traces instead of recording (trace)",
+    )
+    # bench options
+    p.add_argument(
+        "--sizes", type=str, default="64,256,1024,4096",
+        help="comma-separated network sizes (bench)",
+    )
+    p.add_argument(
+        "--baseline", type=str, default=None, metavar="REV",
+        help="git revision whose engine to re-run as the dense baseline "
+        "(bench); e.g. HEAD~1",
     )
     return p
 
@@ -154,6 +171,8 @@ def _run_one(cmd: str, args: argparse.Namespace) -> str:
         return _run_trace(args)
     if cmd == "profile":
         return _run_profile(args)
+    if cmd == "bench":
+        return _run_bench(args)
     raise ValueError(f"unknown command {cmd}")
 
 
@@ -237,6 +256,39 @@ def _run_profile(args: argparse.Namespace) -> str:
     )
 
 
+def _run_bench(args: argparse.Namespace) -> str:
+    from repro.experiments.microbench import (
+        bench_report,
+        render_report,
+        write_bench_json,
+    )
+    from repro.params import LBParams
+
+    try:
+        ns = tuple(int(x) for x in args.sizes.split(",") if x)
+    except ValueError as exc:
+        raise SystemExit(
+            f"error: --sizes expects comma-separated ints, got {args.sizes!r}"
+        ) from exc
+    if not ns or any(n < 2 for n in ns):
+        raise SystemExit(f"error: --sizes needs values >= 2, got {args.sizes!r}")
+    doc = bench_report(
+        ns,
+        params=LBParams(f=args.f, delta=args.delta, C=args.cap),
+        baseline_rev=args.baseline,
+        engine_seed=args.seed or 7,
+    )
+    if args.baseline and doc.get("baseline", {}).get("error"):
+        raise SystemExit(
+            f"error: baseline engine for rev {args.baseline!r} could not be "
+            "loaded (bad revision, or core/engine.py missing at that rev)"
+        )
+    out_dir = args.out or Path("results")
+    path = out_dir / "BENCH_engine.json"
+    write_bench_json(path, doc)
+    return render_report(doc) + f"\n\nwrote {path}"
+
+
 _ALL = [
     "theorem12",
     "theorem3",
@@ -261,6 +313,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         print("available artifacts:", ", ".join(_ALL))
         print("observability tools: trace, profile (docs/OBSERVABILITY.md)")
+        print("performance tools: bench (docs/PERFORMANCE.md)")
         return 0
     commands = _ALL if args.command == "all" else [args.command]
     for cmd in commands:

@@ -10,6 +10,8 @@
 * :mod:`repro.core.engine` — the full n-processor generator/consumer
   algorithm of section 4 + appendix, including the borrowing protocol
   (:mod:`repro.core.borrowing`) with its Table-1 counters.
+* :mod:`repro.core.ledger` — the compact active-class representation
+  backing the engine's ``d``/``b`` matrices.
 """
 
 from repro.core.balance import even_split, snake_distribute, SnakeDealer
@@ -22,6 +24,7 @@ from repro.core.selection import (
 from repro.core.opg import OPGResult, simulate_opg
 from repro.core.opgc import DecreaseResult, simulate_decrease, simulate_opgc
 from repro.core.engine import Engine, EngineConfig
+from repro.core.ledger import ClassLedger
 from repro.core.borrowing import BorrowCounters
 from repro.core.events import BalanceEvent
 from repro.core.processor import ProcessorView
@@ -49,6 +52,7 @@ __all__ = [
     "simulate_decrease",
     "Engine",
     "EngineConfig",
+    "ClassLedger",
     "BorrowCounters",
     "BalanceEvent",
     "ProcessorView",

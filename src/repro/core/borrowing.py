@@ -35,7 +35,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["BorrowCounters", "eligible_borrow_classes", "pick_debt_class"]
+__all__ = [
+    "BorrowCounters",
+    "eligible_borrow_classes",
+    "eligible_borrow_classes_sparse",
+    "pick_debt_class",
+    "pick_from_classes",
+]
 
 
 @dataclass(slots=True)
@@ -92,6 +98,26 @@ def eligible_borrow_classes(
     return np.nonzero(mask)[0]
 
 
+def eligible_borrow_classes_sparse(
+    d_row: dict[int, int], b_row: dict[int, int]
+) -> list[int]:
+    """Sparse-row version of :func:`eligible_borrow_classes`.
+
+    ``d_row``/``b_row`` are the off-diagonal nonzero dicts of a
+    :class:`~repro.core.ledger.ClassLedger` row (the own class lives on
+    the separate diagonal, so it is excluded by construction).  Returns
+    the eligible classes in ascending order — the same element order as
+    ``np.nonzero`` on the dense row, which keeps the engine's uniform
+    random pick on the same class whichever representation is in use.
+    """
+    if b_row:
+        out = [c for c, v in d_row.items() if v > 0 and c not in b_row]
+    else:
+        out = [c for c, v in d_row.items() if v > 0]
+    out.sort()
+    return out
+
+
 def pick_debt_class(
     b_row: np.ndarray, rng: np.random.Generator
 ) -> int:
@@ -100,3 +126,19 @@ def pick_debt_class(
     if owed.size == 0:
         raise ValueError("no outstanding debt to pick from")
     return int(owed[rng.integers(owed.size)])
+
+
+def pick_from_classes(
+    classes: list[int], rng: np.random.Generator
+) -> int:
+    """Uniform pick from a precomputed ascending class list.
+
+    Companion to :func:`pick_debt_class` for ledger rows: given the
+    ascending positive classes of a debt row (``ClassLedger.
+    positive_classes``), draws the same generator call —
+    ``rng.integers(len(classes))`` — as the dense helper, so the chosen
+    class and the RNG state afterwards are bit-identical.
+    """
+    if not classes:
+        raise ValueError("no outstanding debt to pick from")
+    return classes[int(rng.integers(len(classes)))]

@@ -1,0 +1,304 @@
+"""Compact per-class load ledger: the engine's ``d``/``b`` matrices.
+
+The appendix's state is two conceptually ``n x n`` integer matrices —
+``d[i][j]`` (real packets of virtual class ``j`` on processor ``i``) and
+``b[i][j]`` (outstanding debts).  Storing them densely is O(n²) memory
+and makes every balancing re-deal O(n) in the *network* size even though
+only a handful of classes are actually present on any processor: a row
+can never hold more distinct nonzero classes than packets, so the number
+of active entries is bounded by the processor's load, not by ``n``.
+
+:class:`ClassLedger` therefore keeps
+
+* ``diag`` — the diagonal ``d[i][i]`` as a dense length-``n`` array
+  (the self-generated load is touched by *every* generate/consume and by
+  the trigger test, so it must support vectorized batch updates);
+* ``rows[i]`` — the off-diagonal nonzero entries of row ``i`` as a
+  ``{class: count}`` dict (zero entries are pruned on update);
+* ``row_sums`` — a dense length-``n`` cache of the row totals,
+  maintained incrementally (this is what makes "does processor ``i``
+  owe anything" and the engine's ``l`` bookkeeping O(1)).
+
+Memory is O(n + active entries) instead of O(n²); a balancing operation
+costs O(active entries of the participants) instead of O(n).
+
+NumPy compatibility
+-------------------
+The ledger also emulates the small slice of the ``ndarray`` interface
+that introspection code and tests historically used on the dense
+matrices: ``led[i]`` (dense row copy), ``led[i, j]`` (scalar get/set),
+``led[i, :] = 0``, ``led.sum()``, ``np.asarray(led)`` /
+``np.array_equal(led, other)`` via ``__array__``.  These shims
+materialise dense data and are meant for tests, checkpoints and
+debugging — the engine's hot paths only use the sparse accessors.
+
+Invariant: after any sequence of mutations through the ledger API,
+``row_sums[i] == diag[i] + sum(rows[i].values())`` and ``rows[i]``
+contains no zero values and no ``i`` key.  :meth:`check_consistency`
+verifies this (and is called from the engine's ``assert_invariants``),
+cross-checking the sparse form against the reconstructed dense form.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+__all__ = ["ClassLedger"]
+
+
+class ClassLedger:
+    """Row-sparse square int matrix with a dense diagonal."""
+
+    __slots__ = ("n", "diag", "rows", "row_sums")
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"need n >= 1, got {n}")
+        self.n = n
+        self.diag = np.zeros(n, dtype=np.int64)
+        self.rows: list[dict[int, int]] = [{} for _ in range(n)]
+        self.row_sums = np.zeros(n, dtype=np.int64)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, matrix: np.ndarray) -> "ClassLedger":
+        """Build a ledger from an ``(n, n)`` dense matrix."""
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"need a square matrix, got shape {matrix.shape}")
+        led = cls(matrix.shape[0])
+        led.diag[:] = np.diagonal(matrix)
+        for i in range(led.n):
+            row = matrix[i]
+            nz = np.nonzero(row)[0]
+            led.rows[i] = {
+                int(j): int(row[j]) for j in nz if int(j) != i
+            }
+        led.row_sums[:] = matrix.sum(axis=1)
+        return led
+
+    # -- sparse accessors (engine hot paths) ------------------------------
+
+    def get(self, i: int, j: int) -> int:
+        """Entry ``(i, j)`` as a Python int."""
+        if j == i:
+            return int(self.diag[i])
+        return self.rows[i].get(j, 0)
+
+    def add(self, i: int, j: int, dv: int) -> None:
+        """Add ``dv`` to entry ``(i, j)``, pruning zeros off-diagonal."""
+        if dv == 0:
+            return
+        if j == i:
+            self.diag[i] += dv
+        else:
+            row = self.rows[i]
+            v = row.get(j, 0) + dv
+            if v:
+                row[j] = v
+            else:
+                del row[j]
+        self.row_sums[i] += dv
+
+    def set(self, i: int, j: int, v: int) -> None:
+        """Set entry ``(i, j)`` to ``v``."""
+        self.add(i, j, v - self.get(i, j))
+
+    def row_sum(self, i: int) -> int:
+        return int(self.row_sums[i])
+
+    def positive_classes(self, i: int) -> list[int]:
+        """Classes with a positive entry in row ``i``, ascending.
+
+        Matches ``np.nonzero(dense_row > 0)[0]`` element order, which is
+        what keeps random choices among these classes identical between
+        the sparse and dense engines.
+        """
+        out = [c for c, v in self.rows[i].items() if v > 0]
+        if self.diag[i] > 0:
+            out.append(i)
+        out.sort()
+        return out
+
+    def snake_redeal(self, parts: list[int], start: int) -> list[int]:
+        """Re-deal the rows of ``parts`` with the snake distribution.
+
+        Per-class totals over the participants are dealt back as
+        ``total // k`` each plus the ``total mod k`` remainder packets
+        to consecutive circular positions, the remainder pointer
+        starting at ``start`` and continuing across classes in
+        ascending class order — exactly
+        :func:`repro.core.balance.snake_distribute` restricted to the
+        participant rows, but O(active entries) instead of O(n).
+
+        Returns the new row sums, one per participant.
+        """
+        k = len(parts)
+        rows = self.rows
+        diag = self.diag
+        totals: Counter[int] = Counter()
+        for p in parts:
+            totals.update(rows[p])
+        for p in parts:
+            dv = int(diag[p])
+            if dv:
+                totals[p] += dv
+        if not totals:
+            for p in parts:
+                if rows[p]:
+                    rows[p] = {}
+                self.row_sums[p] = 0
+            return [0] * k
+        pos = {p: q for q, p in enumerate(parts)}
+        new_rows: list[dict[int, int]] = [{} for _ in range(k)]
+        new_diag = [0] * k
+        sums = [0] * k
+        ptr = start % k
+        for c in sorted(totals):
+            total = totals[c]
+            qc = pos.get(c, -1)
+            if total >= k:
+                base, rem = divmod(total, k)
+                if qc >= 0:
+                    for q in range(k):
+                        if q == qc:
+                            new_diag[q] = base
+                        else:
+                            new_rows[q][c] = base
+                        sums[q] += base
+                else:
+                    for q in range(k):
+                        new_rows[q][c] = base
+                        sums[q] += base
+            else:
+                rem = total  # base == 0: remainder-only deal
+            if rem:
+                for q in range(ptr, ptr + rem):
+                    if q >= k:
+                        q -= k
+                    if q == qc:
+                        new_diag[q] += 1
+                    else:
+                        row = new_rows[q]
+                        row[c] = row.get(c, 0) + 1
+                    sums[q] += 1
+                ptr += rem
+                if ptr >= k:
+                    ptr -= k
+        for q, p in enumerate(parts):
+            rows[p] = new_rows[q]
+            diag[p] = new_diag[q]
+            self.row_sums[p] = sums[q]
+        return sums
+
+    # -- dense materialisation (introspection / tests / checkpoints) ------
+
+    def row_dense(self, i: int) -> np.ndarray:
+        """Dense copy of row ``i``."""
+        out = np.zeros(self.n, dtype=np.int64)
+        out[i] = self.diag[i]
+        row = self.rows[i]
+        if row:
+            out[list(row)] = list(row.values())
+        return out
+
+    def dense(self) -> np.ndarray:
+        """Dense ``(n, n)`` copy of the whole ledger."""
+        out = np.zeros((self.n, self.n), dtype=np.int64)
+        np.fill_diagonal(out, self.diag)
+        for i, row in enumerate(self.rows):
+            if row:
+                out[i, list(row)] = list(row.values())
+        return out
+
+    def total(self) -> int:
+        return int(self.row_sums.sum())
+
+    def active_entries(self) -> int:
+        """Number of stored nonzero entries (memory proxy)."""
+        return int(np.count_nonzero(self.diag)) + sum(
+            len(r) for r in self.rows
+        )
+
+    # -- consistency -------------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Raise AssertionError if the sparse form disagrees with its
+        caches (row-sum cache, pruned zeros, diagonal separation)."""
+        for i, row in enumerate(self.rows):
+            if i in row:
+                raise AssertionError(f"row {i} stores its diagonal off-diag")
+            if any(v == 0 for v in row.values()):
+                raise AssertionError(f"row {i} holds an unpruned zero entry")
+            expect = int(self.diag[i]) + sum(row.values())
+            if int(self.row_sums[i]) != expect:
+                raise AssertionError(
+                    f"row-sum cache stale for row {i}: "
+                    f"{int(self.row_sums[i])} != {expect}"
+                )
+
+    def min_value(self) -> int:
+        """Smallest stored entry (0 if no off-diagonal entries)."""
+        lo = int(self.diag.min()) if self.n else 0
+        for row in self.rows:
+            for v in row.values():
+                if v < lo:
+                    lo = v
+        return lo
+
+    # -- ndarray emulation -------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n, self.n)
+
+    def sum(self, axis: int | None = None):
+        """``axis=None``: grand total; ``axis=1``: row sums copy."""
+        if axis is None:
+            return self.total()
+        if axis == 1:
+            return self.row_sums.copy()
+        raise ValueError(f"unsupported axis {axis} for ClassLedger.sum")
+
+    def __array__(self, dtype=None, copy=None):
+        dense = self.dense()
+        return dense.astype(dtype) if dtype is not None else dense
+
+    def __getitem__(self, key):
+        if isinstance(key, tuple):
+            i, j = key
+            if isinstance(j, slice):
+                return self.row_dense(int(i))[j]
+            return np.int64(self.get(int(i), int(j)))
+        return self.row_dense(int(key))
+
+    def __setitem__(self, key, value) -> None:
+        if isinstance(key, tuple):
+            i, j = key
+            if isinstance(j, slice):
+                dense = self.row_dense(int(i))
+                dense[j] = value
+                self._set_row_dense(int(i), dense)
+                return
+            self.set(int(i), int(j), int(value))
+            return
+        self._set_row_dense(int(key), np.asarray(value, dtype=np.int64))
+
+    def _set_row_dense(self, i: int, dense: np.ndarray) -> None:
+        if dense.shape != (self.n,):
+            raise ValueError(
+                f"row must have shape ({self.n},), got {dense.shape}"
+            )
+        self.diag[i] = dense[i]
+        nz = np.nonzero(dense)[0]
+        self.rows[i] = {int(j): int(dense[j]) for j in nz if int(j) != i}
+        self.row_sums[i] = int(dense.sum())
+
+    def __repr__(self) -> str:
+        return (
+            f"ClassLedger(n={self.n}, active={self.active_entries()}, "
+            f"total={self.total()})"
+        )

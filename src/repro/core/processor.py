@@ -1,6 +1,7 @@
 """Read-only per-processor view of an engine's state.
 
-The engine stores the whole network's state in dense arrays for speed;
+The engine stores the whole network's state in compact ledgers
+(:mod:`repro.core.ledger`) plus dense load vectors;
 :class:`ProcessorView` presents the per-processor perspective the
 appendix's pseudo-code is written in — convenient for debugging,
 notebooks and assertions in tests.
@@ -49,7 +50,7 @@ class ProcessorView:
     @property
     def own_load(self) -> int:
         """``d_{i,i}``: self-generated packets held locally."""
-        return int(self._engine.d[self.i, self.i])
+        return int(self._engine.d.diag[self.i])
 
     @property
     def d(self) -> np.ndarray:
@@ -64,12 +65,12 @@ class ProcessorView:
     @property
     def debt(self) -> int:
         """Total outstanding borrow debt ``sum_j b_{i,j}``."""
-        return int(self._engine.b[self.i].sum())
+        return self._engine.b.row_sum(self.i)
 
     @property
     def virtual_load(self) -> int:
         """``sum_j (d_{i,j} + b_{i,j})``: the load the analysis sees."""
-        return int(self._engine.d[self.i].sum() + self._engine.b[self.i].sum())
+        return self._engine.d.row_sum(self.i) + self._engine.b.row_sum(self.i)
 
     @property
     def local_time(self) -> int:
@@ -86,14 +87,16 @@ class ProcessorView:
     @property
     def can_borrow(self) -> bool:
         """Whether a borrow would currently be admissible."""
-        from repro.core.borrowing import eligible_borrow_classes
+        from repro.core.borrowing import eligible_borrow_classes_sparse
 
         if self.debt >= self._engine.params.C:
             return False
         return (
-            eligible_borrow_classes(
-                self._engine.d[self.i], self._engine.b[self.i], self.i
-            ).size
+            len(
+                eligible_borrow_classes_sparse(
+                    self._engine.d.rows[self.i], self._engine.b.rows[self.i]
+                )
+            )
             > 0
         )
 

@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+import numpy as np
+
 __all__ = ["TriggerDecision", "FactorTrigger", "AdaptiveTrigger"]
 
 
@@ -83,6 +85,24 @@ class FactorTrigger:
         if own_load <= l_old / self.f and own_load < l_old:
             return TriggerDecision.DECREASE
         return TriggerDecision.NONE
+
+    def fires_many(self, own_load: np.ndarray, l_old: np.ndarray) -> np.ndarray:
+        """Vectorized ``check(...) is not NONE`` over whole arrays.
+
+        Evaluates the trigger condition for every processor in one numpy
+        pass — the engine's fast path uses this to find the processors
+        that need no balancing this tick.  The float comparisons are the
+        same IEEE-double operations as :meth:`check`, element for
+        element, so the boolean result agrees with the scalar method
+        exactly (the equivalence property test relies on this).
+        """
+        own = np.asarray(own_load)
+        old = np.asarray(l_old)
+        if self.strict:
+            return (own >= self.f * old) | (own <= old / self.f)
+        growth = (own >= self.f * old) & (own > old)
+        decrease = (own <= old / self.f) & (own < old)
+        return np.where(old == 0, own >= 1, growth | decrease)
 
 
 class AdaptiveTrigger:

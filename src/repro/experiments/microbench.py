@@ -1,0 +1,407 @@
+"""Engine tick microbenchmarks: the ``repro bench`` harness.
+
+Times raw :class:`~repro.core.engine.Engine` ticks — not experiment
+drivers — across network sizes and three workload profiles, and writes
+a machine-readable ``BENCH_engine.json`` so every PR leaves a perf
+trajectory behind (schema below).
+
+Profiles
+--------
+``quiet``
+    Pre-balanced uniform state (every processor holds ``L`` own-class
+    packets, ``l_old`` in equilibrium) under saturated alternating
+    traffic: a whole-network consume tick followed by a whole-network
+    generate tick, repeatedly.  The trigger band never fires and no
+    debts exist, so this isolates the per-tick bookkeeping the fast
+    path vectorizes — the regime the fast path is designed for (rare
+    balancing).  This is the headline profile for fast-vs-dense
+    speedup comparisons.
+``stationary``
+    Sub-critical random traffic (``P(generate)=0.45``,
+    ``P(consume)=0.55``) measured after a 200-tick warmup.  Loads
+    hover near 2 and the tick is dominated by borrow/repay events and
+    balancing ops; both engines pay the same pinned per-event RNG
+    draws, so speedups here are modest and honest.
+``growth``
+    Generate-biased traffic (``P(generate)=0.55``) from a cold start:
+    the load-growth phase of the paper's analysis, trigger-op heavy.
+
+All profiles drive the engine through the public ``step`` API with
+precomputed action arrays; workload and engine seeds are fixed, so a
+given (profile, n) measurement replays the identical computation in
+every run and in both engines being compared.
+
+Baseline comparison
+-------------------
+``baseline_rev`` reconstructs ``core/engine.py`` as of a git revision
+(the pre-ledger dense engine) via ``git show`` and runs it through the
+*same* harness on the same action streams, recording its ticks/sec
+next to the current engine's and asserting state equality at the end
+of each paired run.  The dense baseline is capped at ``n <= 1024``:
+its O(n²) matrices at n=4096 would dominate the process RSS high-water
+mark that this report also documents for the ledger engine.
+
+JSON schema (``repro.bench_engine.v1``)
+---------------------------------------
+::
+
+    {
+      "schema": "repro.bench_engine.v1",
+      "git_rev": "<short rev or 'unknown'>",
+      "python": "3.11.7", "numpy": "1.26.2",
+      "params": {"f": 1.3, "delta": 2, "C": 4,
+                 "engine_seed": 7, "workload_seed": 123},
+      "runs": [
+        {"n": 1024, "profile": "quiet", "warmup": 0, "ticks": 200,
+         "ticks_per_sec": ..., "total_ops": ..., "events": {...},
+         "peak_rss_bytes": ...,          # process high-water, see note
+         "sections": {"step.classify": {"count":..., "total_ns":...,
+                                        "mean_ns":...}, ...}},
+        ...
+      ],
+      "baseline": {"rev": "...",
+                   "runs": [...same shape, no sections...],
+                   "speedup": {"quiet@1024": 14.0, ...}}
+    }
+
+``peak_rss_bytes`` is ``ru_maxrss`` — the *process* high-water mark,
+monotone over the report's ascending-``n`` run order.  The figure on
+the largest ``n`` therefore bounds every run; per-run deltas are not
+recoverable from it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import platform
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.engine import Engine, EngineConfig
+from repro.observability import Profiler
+from repro.params import LBParams
+
+__all__ = [
+    "PROFILES",
+    "DEFAULT_NS",
+    "bench_report",
+    "load_engine_module_at_rev",
+    "run_microbench",
+    "write_bench_json",
+]
+
+PROFILES = ("quiet", "stationary", "growth")
+DEFAULT_NS = (64, 256, 1024, 4096)
+_QUIET_LOAD = 40
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def _tick_budget(n: int, profile: str) -> tuple[int, int]:
+    """(warmup, measured ticks) keeping each run in the seconds range."""
+    if profile == "quiet":
+        return 0, 200
+    if profile == "stationary":
+        return 200, max(30, 20480 // n)
+    if profile == "growth":
+        return 0, max(30, 10240 // n)
+    raise ValueError(f"unknown profile {profile!r} (want one of {PROFILES})")
+
+
+def _make_actions(
+    profile: str, n: int, total: int, workload_seed: int
+) -> np.ndarray:
+    if profile == "quiet":
+        acts = np.ones((total, n), dtype=np.int64)
+        acts[0::2] = -1  # consume tick, generate tick, ...
+        return acts
+    gen = 0.45 if profile == "stationary" else 0.55
+    wr = np.random.default_rng(workload_seed)
+    return (wr.random((total, n)) < gen).astype(np.int64) * 2 - 1
+
+
+def _prepare_engine(engine: Any, profile: str, n: int) -> None:
+    """Profile-specific initial state (shared by ledger and dense)."""
+    if profile != "quiet":
+        return
+    # pre-balanced uniform state: L own-class packets everywhere, the
+    # trigger reference in equilibrium -> the +-1 oscillation stays
+    # inside the factor-f band and no borrowing ever happens
+    for i in range(n):
+        engine.d[i, i] = _QUIET_LOAD
+    engine.l[:] = _QUIET_LOAD
+    engine.l_old[:] = _QUIET_LOAD
+
+
+def run_microbench(
+    n: int,
+    profile: str,
+    *,
+    params: LBParams | None = None,
+    engine_seed: int = 7,
+    workload_seed: int = 123,
+    warmup: int | None = None,
+    ticks: int | None = None,
+    engine_factory: Callable[..., Any] | None = None,
+    fast_path: bool = True,
+    profile_sections: bool = False,
+) -> dict[str, Any]:
+    """Time ``ticks`` engine steps for one (n, profile) point.
+
+    ``engine_factory(config, rng=seed)`` defaults to the current
+    :class:`Engine`; pass a reconstructed historical engine class to
+    benchmark an old code path on the identical action stream.
+    Returns a plain-data record (see module docstring schema) plus the
+    final ``l`` vector under ``"_l"`` for cross-engine equality checks
+    (stripped before serialisation).
+    """
+    params = params or LBParams(f=1.3, delta=2, C=4)
+    default_warmup, default_ticks = _tick_budget(n, profile)
+    warmup = default_warmup if warmup is None else warmup
+    ticks = default_ticks if ticks is None else ticks
+
+    acts = _make_actions(profile, n, warmup + ticks, workload_seed)
+    # the current EngineConfig works for reconstructed engines too:
+    # they read the shared fields and ignore fast_path
+    config = EngineConfig(n=n, params=params, fast_path=fast_path)
+    profiler = Profiler() if profile_sections else None
+    if engine_factory is not None:
+        if profiler is not None:
+            raise ValueError(
+                "profile_sections is only supported on the current engine"
+            )
+        eng = engine_factory(config, rng=engine_seed)
+    elif profiler is not None:
+        eng = Engine(config, rng=engine_seed, profiler=profiler)
+    else:
+        eng = Engine(config, rng=engine_seed)
+    _prepare_engine(eng, profile, n)
+
+    for t in range(warmup):
+        eng.step(acts[t])
+    t0 = time.perf_counter()
+    for t in range(warmup, warmup + ticks):
+        eng.step(acts[t])
+    elapsed = time.perf_counter() - t0
+
+    record: dict[str, Any] = {
+        "n": n,
+        "profile": profile,
+        "warmup": warmup,
+        "ticks": ticks,
+        "ticks_per_sec": round(ticks / elapsed, 2),
+        "elapsed_sec": round(elapsed, 4),
+        "total_ops": int(eng.total_ops),
+        "events": {
+            k: v for k, v in eng.counters.as_dict().items() if v
+        },
+        "peak_rss_bytes": peak_rss_bytes(),
+        "_l": np.asarray(eng.l).tolist(),
+    }
+    if profiler is not None:
+        record["sections"] = {
+            name: {
+                "count": s.count,
+                "total_ns": s.total_ns,
+                "mean_ns": round(s.mean_ns, 1),
+            }
+            for name, s in sorted(profiler.records.items())
+        }
+    return record
+
+
+def peak_rss_bytes() -> int:
+    """Process RSS high-water mark (``ru_maxrss``; KiB on Linux)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return rss * (1 if sys.platform == "darwin" else 1024)
+
+
+def load_engine_module_at_rev(rev: str, repo_root: Path | None = None):
+    """Reconstruct ``repro.core.engine`` as of git revision ``rev``.
+
+    Returns the loaded module (its ``Engine``/``EngineConfig`` resolve
+    their imports against the *current* package, which keeps the dense
+    helpers they use), or ``None`` when git or the revision is
+    unavailable — callers degrade to a no-baseline report.
+    """
+    root = repo_root or _REPO_ROOT
+    try:
+        src = subprocess.run(
+            ["git", "show", f"{rev}:src/repro/core/engine.py"],
+            capture_output=True,
+            text=True,
+            cwd=root,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if src.returncode != 0 or not src.stdout:
+        return None
+    name = "_repro_engine_" + "".join(
+        c if c.isalnum() else "_" for c in rev
+    )
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".py", prefix=name + "_", delete=False
+    ) as fh:
+        fh.write(src.stdout)
+        path = fh.name
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module  # dataclass machinery needs the registry
+    try:
+        spec.loader.exec_module(module)
+    except Exception:
+        del sys.modules[name]
+        return None
+    return module
+
+
+def git_rev(repo_root: Path | None = None) -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=repo_root or _REPO_ROOT,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def bench_report(
+    ns: tuple[int, ...] = DEFAULT_NS,
+    *,
+    profiles: tuple[str, ...] = PROFILES,
+    params: LBParams | None = None,
+    baseline_rev: str | None = None,
+    baseline_max_n: int = 1024,
+    engine_seed: int = 7,
+    workload_seed: int = 123,
+) -> dict[str, Any]:
+    """Full benchmark document (see module docstring for the schema).
+
+    Runs ascending ``n`` so the RSS high-water mark column reads as a
+    per-size upper bound.  With ``baseline_rev``, the dense engine of
+    that revision is re-run on identical action streams for every
+    (profile, n <= baseline_max_n) point; final loads must match the
+    current engine's bit-for-bit or the report raises.
+    """
+    params = params or LBParams(f=1.3, delta=2, C=4)
+    doc: dict[str, Any] = {
+        "schema": "repro.bench_engine.v1",
+        "git_rev": git_rev(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "params": {
+            "f": params.f,
+            "delta": params.delta,
+            "C": params.C,
+            "engine_seed": engine_seed,
+            "workload_seed": workload_seed,
+        },
+        "quiet_load": _QUIET_LOAD,
+        "runs": [],
+    }
+    finals: dict[tuple[str, int], list[int]] = {}
+    for n in sorted(ns):
+        for profile in profiles:
+            rec = run_microbench(
+                n,
+                profile,
+                params=params,
+                engine_seed=engine_seed,
+                workload_seed=workload_seed,
+                profile_sections=True,
+            )
+            finals[(profile, n)] = rec.pop("_l")
+            doc["runs"].append(rec)
+
+    if baseline_rev:
+        module = load_engine_module_at_rev(baseline_rev)
+        if module is None:
+            doc["baseline"] = {"rev": baseline_rev, "error": "unavailable"}
+            return doc
+        base_runs = []
+        speedup = {}
+        for n in sorted(x for x in ns if x <= baseline_max_n):
+            for profile in profiles:
+                rec = run_microbench(
+                    n,
+                    profile,
+                    params=params,
+                    engine_seed=engine_seed,
+                    workload_seed=workload_seed,
+                    engine_factory=lambda config, rng: module.Engine(
+                        config, rng=rng
+                    ),
+                )
+                if rec.pop("_l") != finals[(profile, n)]:
+                    raise AssertionError(
+                        f"baseline {baseline_rev} diverged from current "
+                        f"engine on profile={profile} n={n}"
+                    )
+                rec.pop("peak_rss_bytes")  # polluted by current-engine runs
+                base_runs.append(rec)
+                cur = next(
+                    r
+                    for r in doc["runs"]
+                    if r["n"] == n and r["profile"] == profile
+                )
+                speedup[f"{profile}@{n}"] = round(
+                    cur["ticks_per_sec"] / rec["ticks_per_sec"], 2
+                )
+        doc["baseline"] = {
+            "rev": baseline_rev,
+            "max_n": baseline_max_n,
+            "runs": base_runs,
+            "speedup": speedup,
+        }
+    return doc
+
+
+def write_bench_json(path: Path, doc: dict[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def render_report(doc: dict[str, Any]) -> str:
+    """ASCII summary of a bench document."""
+    from repro.experiments.report import render_table
+
+    speedup = doc.get("baseline", {}).get("speedup", {})
+    rows = []
+    for r in doc["runs"]:
+        key = f"{r['profile']}@{r['n']}"
+        rows.append(
+            [
+                r["n"],
+                r["profile"],
+                r["ticks"],
+                r["ticks_per_sec"],
+                r["total_ops"],
+                f"{r['peak_rss_bytes'] / 2**20:.0f}",
+                speedup.get(key, "-"),
+            ]
+        )
+    table = render_table(
+        ["n", "profile", "ticks", "ticks/s", "ops", "rss MiB", "vs base"],
+        rows,
+    )
+    head = (
+        f"engine microbench  rev={doc['git_rev']}  "
+        f"f={doc['params']['f']} delta={doc['params']['delta']} "
+        f"C={doc['params']['C']}"
+    )
+    if "baseline" in doc:
+        head += f"  baseline={doc['baseline'].get('rev')}"
+    return head + "\n\n" + table

@@ -79,21 +79,40 @@ def default_jobs() -> int:
 
 def parallel_map(
     fn: Callable[[T], R],
-    items: Sequence[T],
+    items: Iterable[T],
     *,
     jobs: int | None = None,
-    chunksize: int = 1,
+    chunksize: int | None = None,
 ) -> Iterator[R]:
     """Map ``fn`` over ``items``, optionally across processes.
 
     Results are yielded in input order regardless of completion order.
     ``fn`` and every item must be picklable when ``jobs > 1`` (the
     experiment harness passes plain configs + integer run indices).
+
+    ``items`` may be any iterable, including a lazy generator.  The
+    serial path (``jobs <= 1``) consumes it one element at a time —
+    task descriptions are never materialised, so streaming reducers
+    over huge run sets stay O(1) in memory.  The pool path must
+    materialise the iterable (chunked dispatch needs ``len``).
+
+    ``chunksize=None`` (the default) picks ``len(items) // (4 *
+    jobs)``, floored at 1: big enough to amortise pickling, small
+    enough that every worker gets several chunks for load balancing.
     """
     jobs = default_jobs() if jobs is None else jobs
-    if jobs <= 1 or len(items) <= 1:
+    if jobs <= 1:
         for item in items:
             yield fn(item)
         return
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        yield from pool.map(fn, items, chunksize=chunksize)
+    seq: Sequence[T] = (
+        items if isinstance(items, Sequence) else list(items)
+    )
+    if len(seq) <= 1:
+        for item in seq:
+            yield fn(item)
+        return
+    if chunksize is None:
+        chunksize = max(1, len(seq) // (4 * jobs))
+    with ProcessPoolExecutor(max_workers=min(jobs, len(seq))) as pool:
+        yield from pool.map(fn, seq, chunksize=chunksize)

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.borrowing import BorrowCounters
 from repro.core.engine import Engine, EngineConfig
+from repro.core.ledger import ClassLedger
 from repro.params import LBParams
 from repro.simulation.result import RunResult
 from repro.workload.trace import RecordedWorkload
@@ -144,9 +145,11 @@ def load_engine_state(
             ),
             rng=rng,
         )
-        engine.d = data["d"].copy()
-        engine.b = data["b"].copy()
-        engine.l = engine.d.sum(axis=1)
+        # checkpoints store the dense matrices (ndarray-coerced via the
+        # ledger's __array__); rebuild the sparse form on restore
+        engine.d = ClassLedger.from_dense(data["d"])
+        engine.b = ClassLedger.from_dense(data["b"])
+        engine.l = engine.d.row_sums.copy()
         engine.l_old = data["l_old"].copy()
         engine.local_time = data["local_time"].copy()
         engine.global_time = int(data["global_time"])

@@ -17,6 +17,7 @@ bound ``FIX(n, delta, f) <= delta / (delta + 1 - f)`` with equality as
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Iterator
 
 from repro.theory.operators import GrowthOperator
@@ -44,9 +45,19 @@ def fix(n: int, delta: int, f: float) -> float:
     ``fix(n, delta, 1/f)``).  For ``1 <= f < delta + 1`` Theorem 2
     guarantees ``fix <= delta / (delta + 1 - f)``.
 
+    Memoised: theory sweeps and the engine's bound checks re-evaluate
+    the same (n, delta, f) grid points many times, so results are
+    cached with ``f`` rounded to 12 decimals (an error far below the
+    formula's own floating-point noise).
+
     >>> round(fix(2, 1, 1.0), 12)   # f = 1: perfectly balanced
     1.0
     """
+    return _fix_cached(n, delta, round(f, 12))
+
+
+@lru_cache(maxsize=65536)
+def _fix_cached(n: int, delta: int, f: float) -> float:
     a = A_const(n, delta, f)
     return math.sqrt((n - 1) / f + a * a) - a
 

@@ -40,6 +40,7 @@ Only ``delta = 1`` is provided (as in the paper's exact scheme; its
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -122,7 +123,25 @@ class PerUDecomposition:
 
 
 def per_u_moments(t: int, n: int, f: float) -> PerUDecomposition:
-    """Run the forward DP for ``t`` balancing steps (``delta = 1``)."""
+    """Run the forward DP for ``t`` balancing steps (``delta = 1``).
+
+    Memoised on ``(t, n, f)`` with ``f`` rounded to 12 decimals — the
+    §5 cross-validation suites evaluate the same grid from several
+    angles.  The cached result's arrays are frozen read-only so a
+    mutating caller cannot corrupt later cache hits.
+    """
+    return _per_u_cached(t, n, round(f, 12))
+
+
+@lru_cache(maxsize=256)
+def _per_u_cached(t: int, n: int, f: float) -> PerUDecomposition:
+    res = _per_u_impl(t, n, f)
+    res.weights.setflags(write=False)
+    res.moments.setflags(write=False)
+    return res
+
+
+def _per_u_impl(t: int, n: int, f: float) -> PerUDecomposition:
     if n < 2:
         raise ValueError(f"need n >= 2, got {n}")
     if f <= 0:

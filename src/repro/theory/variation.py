@@ -46,6 +46,7 @@ Two computations are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator, Literal, Sequence
 
 import numpy as np
@@ -178,7 +179,31 @@ def exact_variation_density(
     enumeration length is ``t * delta``.
 
     Complexity: Bell(``t * delta``) patterns; keep ``t * delta <= 12``.
+    Memoised (``f`` rounded to 12 decimals, arrays frozen read-only):
+    the §5 suites sweep the same small grid repeatedly and each
+    evaluation is Bell-number expensive.
     """
+    return _exact_vd_cached(t, n, round(f, 12), delta, mode)
+
+
+@lru_cache(maxsize=256)
+def _exact_vd_cached(
+    t: int, n: int, f: float, delta: int, mode: Mode
+) -> VariationResult:
+    res = _exact_vd_impl(t, n, f, delta, mode)
+    for arr in (
+        res.e_producer,
+        res.e2_producer,
+        res.e_other,
+        res.e2_other,
+    ):
+        arr.setflags(write=False)
+    return res
+
+
+def _exact_vd_impl(
+    t: int, n: int, f: float, delta: int, mode: Mode
+) -> VariationResult:
     if mode == "exact" and delta > 1:
         raise NotImplementedError(
             "exact enumeration supports delta > 1 only in relaxed mode"

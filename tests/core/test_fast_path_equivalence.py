@@ -1,0 +1,122 @@
+"""Slow/fast path equivalence: the fast path must be invisible.
+
+The engine's vectorized fast path (``EngineConfig.fast_path=True``,
+the default) batches quiet processors but must replay *exactly* the
+scalar reference sweep: same RNG draw order, same state, same events.
+These tests drive both paths with identical random action streams at
+``n <= 32`` and require bit-for-bit agreement on ``l``, ``d``, ``b``,
+``l_old``, all counters, and the full traced event sequence.
+
+A seeded sweep covers a fixed parameter grid deterministically; a
+hypothesis property searches the space adversarially (including idle
+actions and degenerate n=2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import Engine, EngineConfig
+from repro.observability import Tracer
+from repro.params import LBParams
+
+
+def _run(n, params, actions, fast, seed):
+    tracer = Tracer()
+    eng = Engine(
+        EngineConfig(n=n, params=params, fast_path=fast),
+        rng=seed,
+        tracer=tracer,
+    )
+    for row in actions:
+        eng.step(np.asarray(row, dtype=np.int64))
+    eng.assert_invariants()
+    return eng, tracer
+
+
+def _assert_equivalent(n, params, actions, seed):
+    fast, fast_tr = _run(n, params, actions, True, seed)
+    slow, slow_tr = _run(n, params, actions, False, seed)
+    assert fast.l.tolist() == slow.l.tolist()
+    assert fast.l_old.tolist() == slow.l_old.tolist()
+    assert np.array_equal(fast.d.dense(), slow.d.dense())
+    assert np.array_equal(fast.b.dense(), slow.b.dense())
+    assert fast.counters.as_dict() == slow.counters.as_dict()
+    assert fast.total_ops == slow.total_ops
+    assert fast.packets_migrated == slow.packets_migrated
+    assert fast.total_generated == slow.total_generated
+    assert fast.total_consumed == slow.total_consumed
+    assert fast_tr.events == slow_tr.events
+
+
+GRID = [
+    # (n, f, delta, C, gen_bias, ticks, seed)
+    (2, 1.5, 1, 2, 0.5, 80, 0),
+    (3, 1.1, 1, 1, 0.6, 60, 1),
+    (5, 1.3, 2, 4, 0.45, 60, 2),
+    (8, 1.2, 3, 2, 0.55, 50, 3),
+    (16, 1.1, 2, 4, 0.5, 40, 4),
+    (16, 2.5, 4, 1, 0.7, 40, 5),
+    (32, 1.3, 2, 4, 0.45, 30, 6),
+    (32, 1.8, 5, 3, 0.65, 30, 7),
+]
+
+
+@pytest.mark.parametrize("n,f,delta,C,bias,ticks,seed", GRID)
+def test_equivalence_seeded_sweep(n, f, delta, C, bias, ticks, seed):
+    wr = np.random.default_rng(1000 + seed)
+    u = wr.random((ticks, n))
+    actions = np.zeros((ticks, n), dtype=np.int64)
+    actions[u < bias * 0.9] = 1
+    actions[u > 1 - (1 - bias) * 0.9] = -1  # ~10% idle
+    _assert_equivalent(n, LBParams(f=f, delta=delta, C=C), actions, seed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=16),
+    f=st.sampled_from([1.05, 1.1, 1.3, 1.5, 2.0]),
+    delta_raw=st.integers(min_value=1, max_value=4),
+    C=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+    data=st.data(),
+)
+def test_equivalence_property(n, f, delta_raw, C, seed, data):
+    delta = min(delta_raw, n - 1)
+    assume(f < delta + 1)  # the provable parameter domain
+    ticks = data.draw(st.integers(min_value=1, max_value=25))
+    actions = data.draw(
+        st.lists(
+            st.lists(
+                st.sampled_from([-1, 0, 1]), min_size=n, max_size=n
+            ),
+            min_size=ticks,
+            max_size=ticks,
+        )
+    )
+    _assert_equivalent(
+        n, LBParams(f=f, delta=delta, C=C), np.asarray(actions), seed
+    )
+
+
+def test_fast_path_disabled_with_custom_triggers():
+    from repro.core.triggers import FactorTrigger
+
+    params = LBParams(f=1.3, delta=1, C=2)
+    eng = Engine(
+        EngineConfig(n=4, params=params),
+        rng=0,
+        triggers=[FactorTrigger(1.3) for _ in range(4)],
+    )
+    assert eng._fast is False
+
+
+def test_fast_path_rejects_invalid_action():
+    eng = Engine(
+        EngineConfig(n=4, params=LBParams(f=1.3, delta=1, C=2)), rng=0
+    )
+    with pytest.raises(ValueError, match="invalid action"):
+        eng.step(np.array([0, 2, 0, 0]))

@@ -82,8 +82,11 @@ class TestEngineProfiling:
         from repro import Engine, EngineConfig, LBParams
 
         prof = Profiler()
+        # the per-action trigger.check contract holds on the scalar
+        # reference sweep; the fast path batches quiet checks into
+        # step.classify (see docs/OBSERVABILITY.md)
         eng = Engine(
-            EngineConfig(n=4, params=LBParams(f=1.2, delta=2, C=2)),
+            EngineConfig(n=4, params=LBParams(f=1.2, delta=2, C=2), fast_path=False),
             rng=1,
             profiler=prof,
         )
@@ -93,6 +96,25 @@ class TestEngineProfiling:
         assert prof.records["balance.select"].count == eng.total_ops
         assert prof.records["balance.deal"].count == eng.total_ops
         assert eng.total_ops > 0
+
+    def test_fast_path_sections_populated(self):
+        import numpy as np
+
+        from repro import Engine, EngineConfig, LBParams
+
+        prof = Profiler()
+        eng = Engine(
+            EngineConfig(n=4, params=LBParams(f=1.2, delta=2, C=2)),
+            rng=1,
+            profiler=prof,
+        )
+        for _ in range(30):
+            eng.step(np.ones(4, dtype=np.int64))
+        # one classification pass per tick; slow-path checks still land
+        # in trigger.check individually
+        assert prof.records["step.classify"].count == 30
+        assert prof.records["balance.select"].count == eng.total_ops
+        assert prof.records["trigger.check"].count >= eng.total_ops
 
     def test_unprofiled_engine_pays_nothing(self):
         import numpy as np

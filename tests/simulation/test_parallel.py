@@ -27,6 +27,34 @@ class TestParallelMap:
     def test_empty(self):
         assert list(parallel_map(square, [], jobs=4)) == []
 
+    def test_lazy_iterable_serial_stays_lazy(self):
+        consumed = []
+
+        def gen():
+            for x in range(5):
+                consumed.append(x)
+                yield x
+
+        out = parallel_map(square, gen(), jobs=1)
+        assert consumed == []  # nothing pulled before iteration
+        assert next(out) == 0
+        assert consumed == [0]  # one item pulled, none buffered ahead
+        assert list(out) == [1, 4, 9, 16]
+
+    def test_lazy_iterable_parallel_materialises(self):
+        out = list(parallel_map(square, (x for x in range(20)), jobs=4))
+        assert out == [x * x for x in range(20)]
+
+    def test_auto_chunksize_formula(self):
+        # 40 items / (4 * 2 jobs) = 5; floored at 1 for tiny inputs
+        assert max(1, 40 // (4 * 2)) == 5
+        assert max(1, 3 // (4 * 8)) == 1
+        # behavioural check: auto chunking preserves order and results
+        items = list(range(40))
+        assert list(parallel_map(square, items, jobs=2)) == [
+            x * x for x in items
+        ]
+
 
 class TestDefaultJobs:
     def test_unset_is_serial(self, monkeypatch):
