@@ -7,7 +7,6 @@ additionally measure raw engine throughput (steps/sec) as the
 infrastructure cost baseline.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import save

@@ -8,7 +8,6 @@ mildly, the f-ordering is preserved, and operation counts fall as
 latency rises (busy processors decline).
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import save

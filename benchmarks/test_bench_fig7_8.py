@@ -7,7 +7,6 @@ tighter for delta = 4 than delta = 1; tighter for f = 1.1 than f = 1.8;
 delta dominates f once delta is large.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import save

@@ -5,12 +5,10 @@ balance-quality orderings the paper reads off its figures are certified
 here by bootstrap confidence intervals over per-run end-state spreads.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import save
 from repro.experiments.sensitivity import sensitivity_sweep
-from repro.metrics.confidence import compare_means
 
 
 @pytest.mark.benchmark(group="sensitivity")

@@ -19,7 +19,6 @@ pure-growth OPG variation density drifts upward (slowly, forever).
 Run:  python examples/exact_variation.py
 """
 
-import numpy as np
 
 from repro.experiments.report import ascii_chart, render_table
 from repro.theory.moments import MomentState, exact_moments

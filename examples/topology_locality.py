@@ -12,7 +12,6 @@ migration volume.
 Run:  python examples/topology_locality.py
 """
 
-import numpy as np
 
 from repro import Engine, EngineConfig, LBParams, Simulation
 from repro.core.selection import GlobalRandomSelector, NeighborhoodSelector

@@ -7,7 +7,6 @@ tick, exactly what the paper's introduction argues cannot scale.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.baselines.base import BaselineBalancer
 from repro.core.balance import even_split

@@ -18,8 +18,12 @@ Observability tools (see docs/OBSERVABILITY.md)::
     repro trace [--n 16] [--steps 200] [--seed 0] [--f 1.3] [--delta 2]
                 [--trace-out trace.ndjson]
     repro trace --diff a.ndjson b.ndjson
+    repro trace --engine async [--horizon 50]
     repro profile [--n 64] [--steps 300] [--seed 0]
+    repro profile --engine async [--horizon 60]
     repro bench [--sizes 64,256,1024,4096] [--baseline REV] [--out DIR]
+    repro chaos [--n 32] [--horizon 80] [--crash-frac 0.1]
+                [--message-loss 0.01] [--out DIR]
 
 ``repro trace`` records one deterministic §7 run with the structured
 event tracer on, prints a summary, cross-checks the trace against the
@@ -31,6 +35,11 @@ schema-validated NDJSON.  ``--diff`` compares two recorded traces.
 ``results/BENCH_engine.json``; ``--baseline REV`` additionally re-runs
 the engine of an older git revision on the same action streams and
 records the speedup (see docs/PERFORMANCE.md).
+
+``--engine async`` points ``trace`` / ``profile`` at the asynchronous
+engine (horizon in model time via ``--horizon``); ``repro chaos`` runs
+the crash-burst resilience experiment (:mod:`repro.experiments.resilience`,
+docs/RESILIENCE.md) and writes ``results/resilience.json``.
 """
 
 from __future__ import annotations
@@ -71,8 +80,10 @@ def _build_parser() -> argparse.ArgumentParser:
             "trace",
             "profile",
             "bench",
+            "chaos",
         ],
-        help="artifact to regenerate, or an observability tool (trace/profile/bench)",
+        help="artifact to regenerate, or an observability tool "
+        "(trace/profile/bench/chaos)",
     )
     p.add_argument("--runs", type=int, default=None, help="runs per config (paper: 100)")
     p.add_argument("--trials", type=int, default=20_000, help="MC trials (fig6/theorem12)")
@@ -91,6 +102,23 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--diff", type=Path, nargs=2, metavar=("A", "B"), default=None,
         help="diff two recorded NDJSON traces instead of recording (trace)",
+    )
+    p.add_argument(
+        "--engine", choices=["sync", "async"], default="sync",
+        help="engine to drive (trace/profile); async uses --horizon",
+    )
+    p.add_argument(
+        "--horizon", type=float, default=None,
+        help="model-time horizon (async trace/profile, chaos)",
+    )
+    # chaos options
+    p.add_argument(
+        "--crash-frac", type=float, default=0.1,
+        help="fraction of processors crashed in the burst (chaos)",
+    )
+    p.add_argument(
+        "--message-loss", type=float, default=0.01,
+        help="per-message loss probability (chaos)",
     )
     # bench options
     p.add_argument(
@@ -173,6 +201,8 @@ def _run_one(cmd: str, args: argparse.Namespace) -> str:
         return _run_profile(args)
     if cmd == "bench":
         return _run_bench(args)
+    if cmd == "chaos":
+        return _run_chaos(args)
     raise ValueError(f"unknown command {cmd}")
 
 
@@ -187,6 +217,23 @@ def _traced_run(args: argparse.Namespace, **observers):
     return run_simulation(
         args.n, params, workload, args.steps, seed=args.seed, **observers
     )
+
+
+def _async_run(args: argparse.Namespace, **observers):
+    """One deterministic asynchronous §7 run; returns (result, horizon)."""
+    from repro.core.async_engine import AsyncEngine, TableRates
+    from repro.params import LBParams
+    from repro.workload import Section7Workload
+
+    horizon = args.horizon if args.horizon is not None else 50.0
+    w = Section7Workload(args.n, max(int(horizon) + 1, 1), layout_rng=args.seed)
+    engine = AsyncEngine(
+        LBParams(f=args.f, delta=args.delta, C=args.cap),
+        TableRates(*w.phase_tables),
+        seed=args.seed,
+        **observers,
+    )
+    return engine.run(horizon), horizon
 
 
 def _run_trace(args: argparse.Namespace) -> str:
@@ -211,15 +258,28 @@ def _run_trace(args: argparse.Namespace) -> str:
         return render_table([" key", a_path.name, b_path.name, "delta"], rows)
 
     tracer = Tracer()
-    res = _traced_run(args, tracer=tracer)
+    if args.engine == "async":
+        from repro.observability import reconcile_async_trace
+
+        res, horizon = _async_run(args, tracer=tracer)
+        header = (
+            f"traced async run: n={args.n} horizon={horizon:g} "
+            f"f={args.f} delta={args.delta} C={args.cap} seed={args.seed}"
+        )
+        problems = reconcile_async_trace(tracer.events, res)
+    else:
+        res = _traced_run(args, tracer=tracer)
+        header = (
+            f"traced run: n={args.n} steps={args.steps} "
+            f"f={args.f} delta={args.delta} C={args.cap} seed={args.seed}"
+        )
+        problems = reconcile_trace(tracer.events, res)
     lines = [
-        f"traced run: n={args.n} steps={args.steps} "
-        f"f={args.f} delta={args.delta} C={args.cap} seed={args.seed}",
+        header,
         "",
         render_summary(summarise_trace(tracer.events)),
         "",
     ]
-    problems = reconcile_trace(tracer.events, res)
     if problems:
         lines.append("reconciliation with run aggregates FAILED:")
         lines.extend(f"  - {p}" for p in problems)
@@ -241,7 +301,20 @@ def _run_profile(args: argparse.Namespace) -> str:
     from repro.observability import Profiler
 
     profiler = Profiler()
-    res = _traced_run(args, profiler=profiler)
+    if args.engine == "async":
+        res, horizon = _async_run(args, profiler=profiler)
+        header = (
+            f"profiled async run: n={args.n} horizon={horizon:g} "
+            f"f={args.f} delta={args.delta} C={args.cap} seed={args.seed} "
+            f"(ops={res.total_ops})"
+        )
+    else:
+        res = _traced_run(args, profiler=profiler)
+        header = (
+            f"profiled run: n={args.n} steps={args.steps} "
+            f"f={args.f} delta={args.delta} C={args.cap} seed={args.seed} "
+            f"(ops={res.total_ops})"
+        )
     rows = [
         [name, calls, total_ms, mean_us, min_us, max_us]
         for name, calls, total_ms, mean_us, min_us, max_us in profiler.summary()
@@ -249,11 +322,7 @@ def _run_profile(args: argparse.Namespace) -> str:
     table = render_table(
         ["section", "calls", "total ms", "mean µs", "min µs", "max µs"], rows
     )
-    return (
-        f"profiled run: n={args.n} steps={args.steps} "
-        f"f={args.f} delta={args.delta} C={args.cap} seed={args.seed} "
-        f"(ops={res.total_ops})\n\n{table}"
-    )
+    return f"{header}\n\n{table}"
 
 
 def _run_bench(args: argparse.Namespace) -> str:
@@ -289,6 +358,32 @@ def _run_bench(args: argparse.Namespace) -> str:
     return render_report(doc) + f"\n\nwrote {path}"
 
 
+def _run_chaos(args: argparse.Namespace) -> str:
+    from repro.experiments.resilience import (
+        ResilienceConfig,
+        render_resilience,
+        resilience_experiment,
+        write_resilience_json,
+    )
+
+    kwargs = dict(
+        n=args.n,
+        crash_frac=args.crash_frac,
+        message_loss=args.message_loss,
+        f=args.f,
+        delta=args.delta,
+        C=args.cap,
+        seed=args.seed,
+    )
+    if args.horizon is not None:
+        kwargs["horizon"] = args.horizon
+    doc = resilience_experiment(ResilienceConfig(**kwargs))
+    out_dir = args.out or Path("results")
+    path = out_dir / "resilience.json"
+    write_resilience_json(path, doc)
+    return render_resilience(doc) + f"\n\nwrote {path}"
+
+
 _ALL = [
     "theorem12",
     "theorem3",
@@ -314,6 +409,7 @@ def main(argv: list[str] | None = None) -> int:
         print("available artifacts:", ", ".join(_ALL))
         print("observability tools: trace, profile (docs/OBSERVABILITY.md)")
         print("performance tools: bench (docs/PERFORMANCE.md)")
+        print("resilience tools: chaos (docs/RESILIENCE.md)")
         return 0
     commands = _ALL if args.command == "all" else [args.command]
     for cmd in commands:

@@ -18,39 +18,72 @@ asynchrony:
   (state may have drifted — exactly the race a real network has);
 * a processor already engaged in an operation declines to join another
   (the initiator proceeds with the partners that accepted; a fully
-  declined operation is dropped and counted).
+  declined operation is retried with bounded, jittered backoff — see
+  :class:`RetryPolicy` — and dropped for good only after the retry
+  budget is spent).
 
 The A3 ablation (``benchmarks/test_bench_async.py``) uses this to show
 the paper's synchronous-model conclusions carry over: balance quality
 degrades only mildly with latency, and the f/delta trade-offs keep
 their ordering.
 
+Fault injection
+---------------
+Passing ``faults=`` (a :class:`~repro.faults.plan.FaultPlan` or
+:class:`~repro.faults.injector.FaultInjector`) breaks the perfect
+network on a declarative, seed-replayable schedule
+(``docs/RESILIENCE.md`` is the contract):
+
+* **crashes** — a crashed processor skips its workload actions,
+  initiates nothing, and declines every join; its load is dark (frozen)
+  until recovery, when its stale trigger reference makes it rebalance
+  against the drifted network;
+* **lost messages** — each ``complete`` message is lost with the plan's
+  probability; the group's ``busy`` flags stay set until the timeout
+  path (``reclaim_timeout`` after the expected completion) reclaims
+  them, so contention cannot deadlock;
+* **stragglers** — per-processor windows multiply the initiator's
+  operation latency;
+* **partitions** — partners across a partition cut decline like busy
+  partners.
+
+All fault randomness draws from the plan-seeded injector stream, never
+from the engine stream, so a run is a pure function of
+``(seed, FaultPlan)`` and replays bit for bit.
+
 Concurrency model
 -----------------
 The asynchrony is *simulated*, not threaded: a single
-:class:`~repro.simulation.eventqueue.EventQueue` totally orders two
+:class:`~repro.simulation.eventqueue.EventQueue` totally orders the
 message kinds — ``action`` (a processor's Poisson clock fires: do one
-workload action, maybe initiate) and ``complete`` (a balancing
-operation's latency elapsed: redistribute among the group, release the
-``busy`` flags).  Handlers run to completion one at a time, so all
+workload action, maybe initiate), ``complete`` (a balancing operation's
+latency elapsed: redistribute among the group, release the ``busy``
+flags), ``retry`` (backoff elapsed after a fully declined initiation),
+``timeout`` (reclaim the ``busy`` flags of an operation whose
+completion message was lost) and ``fault`` (a scheduled crash/recover
+boundary).  Handlers run to completion one at a time, so all
 interleaving nondeterminism is concentrated in the queue order and the
-RNG — which makes runs exactly reproducible from one seed, races
-included: the load redistribution is computed from the group's loads at
-*completion* time, which may have drifted since initiation, precisely
-the race a real network exhibits.
+RNGs — which makes runs exactly reproducible from one seed (plus the
+fault plan), races included: the load redistribution is computed from
+the group's loads at *completion* time, which may have drifted since
+initiation, precisely the race a real network exhibits.
 
 When a :class:`~repro.observability.tracer.Tracer` is attached, every
-message delivery is emitted as an ``async_deliver`` event and every
-completed/dropped operation as ``async_balance`` / ``async_drop``
-(see ``docs/OBSERVABILITY.md``).  The tracer is single-process state
-here — one engine, one buffer; merging across worker processes only
-arises for the *metrics registry* path used by the multi-run harness
-(see :mod:`repro.simulation.parallel`).
+message delivery is emitted as an ``async_deliver`` event; completed /
+dropped / retried operations as ``async_balance`` / ``async_drop`` /
+``async_retry`` / ``async_giveup``; and injected faults as the
+``fault_*`` family (see ``docs/OBSERVABILITY.md``).  A
+:class:`~repro.observability.profiler.Profiler` times the
+``async.action`` / ``async.complete`` / ``async.retry`` handler
+sections.  The tracer is single-process state here — one engine, one
+buffer; merging across worker processes only arises for the *metrics
+registry* path used by the multi-run harness (see
+:mod:`repro.simulation.parallel`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Protocol
 
 import numpy as np
@@ -58,12 +91,22 @@ import numpy as np
 from repro.core.balance import even_split
 from repro.core.selection import CandidateSelector, GlobalRandomSelector
 from repro.core.triggers import FactorTrigger, TriggerDecision
+from repro.faults.injector import FaultInjector, as_injector
+from repro.faults.plan import FaultPlan
+from repro.observability.profiler import NULL_PROFILER, Profiler
 from repro.observability.tracer import NULL_TRACER, Tracer
 from repro.params import LBParams
 from repro.rng import make_rng
 from repro.simulation.eventqueue import EventQueue
 
-__all__ = ["RateProvider", "ConstantRates", "TableRates", "AsyncEngine", "AsyncResult"]
+__all__ = [
+    "RateProvider",
+    "ConstantRates",
+    "TableRates",
+    "RetryPolicy",
+    "AsyncEngine",
+    "AsyncResult",
+]
 
 
 class RateProvider(Protocol):
@@ -111,6 +154,39 @@ class TableRates:
 
 
 @dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded, jittered exponential backoff for fully declined
+    initiations.
+
+    When every chosen partner declines, the initiator keeps its trigger
+    armed and retries after ``backoff * 2**(attempt-1)`` time units,
+    stretched by a uniform jitter of up to ``jitter`` of itself (the
+    jitter draw comes from the engine stream, so two refused processors
+    do not retry in lock-step).  After ``max_retries`` failed attempts
+    the operation is abandoned: the trigger reference is re-anchored to
+    the current load, exactly the pre-retry behaviour.
+    ``max_retries=0`` reproduces the old drop-immediately semantics.
+    """
+
+    max_retries: int = 2
+    backoff: float = 0.5
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff <= 0:
+            raise ValueError(f"backoff must be > 0, got {self.backoff}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        base = self.backoff * (2.0 ** (attempt - 1))
+        return base * (1.0 + self.jitter * float(rng.random()))
+
+
+@dataclass(frozen=True, slots=True)
 class AsyncResult:
     """Outcome of one asynchronous run."""
 
@@ -120,6 +196,9 @@ class AsyncResult:
     dropped_ops: int
     declined_joins: int
     packets_migrated: int
+    retries: int = 0           # rescheduled initiations (RetryPolicy)
+    give_ups: int = 0          # initiations abandoned after the budget
+    fault_stats: dict | None = field(default=None)  # None = perfect network
 
     @property
     def n(self) -> int:
@@ -131,9 +210,20 @@ class AsyncResult:
         return float(final.std() / mean) if mean > 0 else 0.0
 
 
-# event payload kinds
+# event payload kinds (payload[1] is always the acting processor)
 _ACTION = 0
 _COMPLETE = 1
+_RETRY = 2
+_TIMEOUT = 3
+_FAULT = 4
+
+_KIND_NAMES = {
+    _ACTION: "action",
+    _COMPLETE: "complete",
+    _RETRY: "retry",
+    _TIMEOUT: "timeout",
+    _FAULT: "fault",
+}
 
 
 class AsyncEngine:
@@ -152,6 +242,16 @@ class AsyncEngine:
         = one expected action per processor).
     snapshot_dt:
         Interval between load snapshots.
+    retry:
+        :class:`RetryPolicy` for fully declined initiations.
+    faults:
+        Optional :class:`FaultPlan` / :class:`FaultInjector` breaking
+        the network on a deterministic schedule (None = perfect).
+    reclaim_timeout:
+        Grace period after an operation's expected completion before
+        its ``busy`` flags are forcibly reclaimed (only armed when a
+        fault plan is active — a perfect network never loses the
+        completion).  Default ``max(4 * latency, 1.0)``.
     """
 
     def __init__(
@@ -164,11 +264,19 @@ class AsyncEngine:
         seed: int | np.random.Generator | None = 0,
         selector: CandidateSelector | None = None,
         tracer: Tracer | None = None,
+        profiler: Profiler | None = None,
+        retry: RetryPolicy | None = None,
+        faults: FaultPlan | FaultInjector | None = None,
+        reclaim_timeout: float | None = None,
     ) -> None:
         if latency < 0:
             raise ValueError(f"latency must be >= 0, got {latency}")
         if snapshot_dt <= 0:
             raise ValueError(f"snapshot_dt must be > 0, got {snapshot_dt}")
+        if reclaim_timeout is not None and reclaim_timeout <= 0:
+            raise ValueError(
+                f"reclaim_timeout must be > 0, got {reclaim_timeout}"
+            )
         self.params = params
         self.rates = rates
         self.n = rates.n
@@ -180,6 +288,17 @@ class AsyncEngine:
         self.trigger = FactorTrigger(params.f)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._trace = bool(self.tracer.enabled)
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self._profile = bool(self.profiler.enabled)
+        self.retry = retry or RetryPolicy()
+        self.faults = as_injector(faults)
+        if self.faults is not None:
+            self.faults.plan.validate_for_network(self.n)
+        self.reclaim_timeout = (
+            reclaim_timeout
+            if reclaim_timeout is not None
+            else max(4.0 * latency, 1.0)
+        )
 
         self.l = np.zeros(self.n, dtype=np.int64)
         self.l_old = np.zeros(self.n, dtype=np.int64)
@@ -190,11 +309,28 @@ class AsyncEngine:
         self.dropped_ops = 0
         self.declined_joins = 0
         self.packets_migrated = 0
+        self.retries = 0
+        self.give_ups = 0
+        # fault bookkeeping (all zero on a perfect network)
+        self.crash_events = 0
+        self.crashed_skips = 0
+        self.reclaimed_ops = 0
+        self.straggled_ops = 0
+        self.aborted_ops = 0
+        # in-flight operations: op id -> (group, initiation time)
+        self._inflight: dict[int, tuple[tuple[int, ...], float]] = {}
+        self._op_seq = 0
+        self._attempts = np.zeros(self.n, dtype=np.int64)
+        self._retry_pending = np.zeros(self.n, dtype=bool)
 
     # -- simulation -----------------------------------------------------
 
     def run(self, horizon: float) -> AsyncResult:
         """Simulate until ``horizon``; return snapshots + counters."""
+        if self.faults is not None:
+            for t, what, proc in self.faults.boundary_events():
+                if t <= horizon:
+                    self.queue.push(t, (_FAULT, proc, what))
         for i in range(self.n):
             self._schedule_action(i)
         snap_times = [0.0]
@@ -212,13 +348,31 @@ class AsyncEngine:
                 self.tracer.emit(
                     "async_deliver",
                     time=float(ev.time),
-                    kind="action" if kind == _ACTION else "complete",
+                    kind=_KIND_NAMES[kind],
                     proc=int(ev.payload[1]),
                 )
             if kind == _ACTION:
-                self._do_action(ev.payload[1])
+                if self._profile:
+                    with self.profiler.section("async.action"):
+                        self._do_action(ev.payload[1])
+                else:
+                    self._do_action(ev.payload[1])
+            elif kind == _COMPLETE:
+                if self._profile:
+                    with self.profiler.section("async.complete"):
+                        self._complete_balance(*ev.payload[1:])
+                else:
+                    self._complete_balance(*ev.payload[1:])
+            elif kind == _RETRY:
+                if self._profile:
+                    with self.profiler.section("async.retry"):
+                        self._do_retry(ev.payload[1])
+                else:
+                    self._do_retry(ev.payload[1])
+            elif kind == _TIMEOUT:
+                self._reclaim(ev.payload[1], ev.payload[2])
             else:
-                self._complete_balance(ev.payload[1], ev.payload[2])
+                self._fault_boundary(ev.payload[1], ev.payload[2])
         while next_snap <= horizon:
             snap_times.append(next_snap)
             snaps.append(self.l.copy())
@@ -231,7 +385,22 @@ class AsyncEngine:
             dropped_ops=self.dropped_ops,
             declined_joins=self.declined_joins,
             packets_migrated=self.packets_migrated,
+            retries=self.retries,
+            give_ups=self.give_ups,
+            fault_stats=self._fault_stats(),
         )
+
+    def _fault_stats(self) -> dict | None:
+        if self.faults is None:
+            return None
+        return {
+            "crashes": self.crash_events,
+            "crashed_skips": self.crashed_skips,
+            "reclaimed_ops": self.reclaimed_ops,
+            "straggled_ops": self.straggled_ops,
+            "aborted_ops": self.aborted_ops,
+            **self.faults.counters(),
+        }
 
     # -- internals -------------------------------------------------------
 
@@ -240,6 +409,12 @@ class AsyncEngine:
         self.queue.push(self.time + gap, (_ACTION, i))
 
     def _do_action(self, i: int) -> None:
+        if self.faults is not None and self.faults.crashed(i, self.time):
+            # fail-stop: no workload progress, no initiation; the clock
+            # itself keeps running so recovery needs no re-arming
+            self.crashed_skips += 1
+            self._schedule_action(i)
+            return
         g, c = self.rates.rates(self.time)
         u = self.rng.random()
         if u < g[i]:
@@ -249,49 +424,168 @@ class AsyncEngine:
         self._maybe_initiate(i)
         self._schedule_action(i)
 
+    def _do_retry(self, i: int) -> None:
+        self._retry_pending[i] = False
+        if self.faults is not None and self.faults.crashed(i, self.time):
+            return
+        self._maybe_initiate(i)
+
     def _maybe_initiate(self, i: int) -> None:
-        if self.busy[i]:
+        if self.busy[i] or self._retry_pending[i]:
             return
         cur = int(self.l[i])
         # the practical variant triggers on the TOTAL local load (the
         # analysed engine triggers on the own-class load d_ii)
         if self.trigger.check(cur, int(self.l_old[i])) is TriggerDecision.NONE:
+            self._attempts[i] = 0  # load drifted back: episode over
             return
         partners = self.selector.select(i, self.params.delta, self.rng)
-        accepted = [int(p) for p in partners if not self.busy[p]]
+        accepted = []
+        for p in partners:
+            p = int(p)
+            if self.busy[p]:
+                continue
+            if self.faults is not None and self.faults.partner_declines(
+                i, p, self.time
+            ):
+                continue
+            accepted.append(p)
         self.declined_joins += len(partners) - len(accepted)
         if not accepted:
-            self.dropped_ops += 1
-            # re-anchor the trigger so a refused processor does not
-            # retry on every subsequent action while the net is busy
+            self._handle_refusal(i, len(partners))
+            return
+        self._attempts[i] = 0
+        group = (i, *accepted)
+        for p in group:
+            self.busy[p] = True
+        op = self._op_seq
+        self._op_seq += 1
+        eff = self.latency
+        if self.faults is not None:
+            mult = self.faults.latency_multiplier(i, self.time)
+            if mult > 1.0:
+                eff *= mult
+                self.straggled_ops += 1
+                if self._trace:
+                    self.tracer.emit(
+                        "fault_straggle", time=float(self.time),
+                        initiator=int(i), factor=float(mult),
+                    )
+        self._inflight[op] = (group, self.time)
+        self.queue.push(self.time + eff, (_COMPLETE, i, group, op))
+        if self.faults is not None:
+            # reclaim path: if the completion message is lost, the busy
+            # flags must not leak forever
+            self.queue.push(
+                self.time + eff + self.reclaim_timeout, (_TIMEOUT, i, op)
+            )
+
+    def _handle_refusal(self, i: int, declined: int) -> None:
+        """Every partner declined: back off and retry, or give up."""
+        self.dropped_ops += 1
+        if self._trace:
+            self.tracer.emit(
+                "async_drop", time=float(self.time), initiator=int(i),
+                declined=declined,
+            )
+        attempt = int(self._attempts[i])
+        if attempt < self.retry.max_retries:
+            self._attempts[i] = attempt + 1
+            self._retry_pending[i] = True
+            self.retries += 1
+            delay = self.retry.delay(attempt + 1, self.rng)
+            self.queue.push(self.time + delay, (_RETRY, i))
+            if self._trace:
+                self.tracer.emit(
+                    "async_retry", time=float(self.time), initiator=int(i),
+                    attempt=attempt + 1, delay=float(delay),
+                )
+        else:
+            # budget spent: re-anchor the trigger so the refused
+            # processor stops asking while the net is congested
+            self.give_ups += 1
+            self._attempts[i] = 0
             self.l_old[i] = int(self.l[i])
             if self._trace:
                 self.tracer.emit(
-                    "async_drop", time=float(self.time), initiator=int(i),
-                    declined=len(partners),
+                    "async_giveup", time=float(self.time), initiator=int(i),
+                    attempts=attempt + 1,
+                )
+
+    def _complete_balance(
+        self, i: int, group: tuple[int, ...], op: int
+    ) -> None:
+        if op not in self._inflight:
+            return  # already reclaimed by the timeout path
+        if self.faults is not None and self.faults.message_lost(self.time):
+            # the redistribution message vanished: the group stays busy
+            # until the timeout reclaims it
+            if self._trace:
+                self.tracer.emit(
+                    "fault_msg_loss", time=float(self.time),
+                    initiator=int(i), group=[int(p) for p in group],
                 )
             return
-        group = [i, *accepted]
-        for p in group:
-            self.busy[p] = True
-        self.queue.push(self.time + self.latency, (_COMPLETE, i, tuple(group)))
-
-    def _complete_balance(self, i: int, group: tuple[int, ...]) -> None:
+        del self._inflight[op]
         parts = np.asarray(group, dtype=np.int64)
-        before = self.l[parts].copy()
+        self.busy[parts] = False
+        if self.faults is not None:
+            alive = tuple(
+                p for p in group if not self.faults.crashed(p, self.time)
+            )
+        else:
+            alive = group
+        if len(alive) < 2:
+            # everyone else crashed mid-flight: nothing to equalise
+            self.aborted_ops += 1
+            return
+        alive_idx = np.asarray(alive, dtype=np.int64)
+        before = self.l[alive_idx].copy()
         total = int(before.sum())
-        after = even_split(total, len(group), start=int(self.rng.integers(len(group))))
-        self.l[parts] = after
+        after = even_split(
+            total, len(alive), start=int(self.rng.integers(len(alive)))
+        )
+        self.l[alive_idx] = after
         migrated = int(np.maximum(after - before, 0).sum())
         self.packets_migrated += migrated
-        self.l_old[parts] = self.l[parts]
-        self.busy[parts] = False
+        self.l_old[alive_idx] = self.l[alive_idx]
         self.total_ops += 1
         if self._trace:
             self.tracer.emit(
                 "async_balance", time=float(self.time), initiator=int(i),
-                group=[int(p) for p in group],
+                group=[int(p) for p in alive],
                 loads_before=[int(v) for v in before],
                 loads_after=[int(v) for v in after],
                 migrated=migrated,
             )
+
+    def _reclaim(self, i: int, op: int) -> None:
+        """Timeout: release the busy flags of a lost operation."""
+        info = self._inflight.pop(op, None)
+        if info is None:
+            return  # the completion arrived in time
+        group, t0 = info
+        self.busy[np.asarray(group, dtype=np.int64)] = False
+        self.reclaimed_ops += 1
+        if self._trace:
+            self.tracer.emit(
+                "fault_reclaim", time=float(self.time), initiator=int(i),
+                group=[int(p) for p in group], waited=float(self.time - t0),
+            )
+
+    def _fault_boundary(self, proc: int, what: str) -> None:
+        if what == "crash":
+            self.crash_events += 1
+            if self._trace:
+                self.tracer.emit(
+                    "fault_crash", time=float(self.time), proc=int(proc)
+                )
+        else:
+            # the recovered processor keeps its stale trigger reference:
+            # its next action re-evaluates the trigger against the
+            # drifted network and rebalances promptly — that prompt
+            # re-entry is exactly what the resilience sweep measures
+            if self._trace:
+                self.tracer.emit(
+                    "fault_recover", time=float(self.time), proc=int(proc)
+                )

@@ -26,6 +26,11 @@ and CSV export via :mod:`repro.experiments.report`.
 from repro.experiments.config import QualityConfig
 from repro.experiments.runner import quality_experiment, repeat_lm_runs
 from repro.experiments.figures import figure6, figure7, figure8, figure9, figure10
+from repro.experiments.resilience import (
+    ResilienceConfig,
+    resilience_experiment,
+    validate_resilience,
+)
 from repro.experiments.tables import (
     lemma4_table,
     lemma56_table,
@@ -38,6 +43,9 @@ __all__ = [
     "QualityConfig",
     "quality_experiment",
     "repeat_lm_runs",
+    "ResilienceConfig",
+    "resilience_experiment",
+    "validate_resilience",
     "figure6",
     "figure7",
     "figure8",

@@ -1,0 +1,297 @@
+"""Resilience experiment: crash-burst recovery of the asynchronous engine.
+
+The scenario is the end-of-computation hazard a dynamic balancer must
+survive: the workload ramps up, runs steady, then tapers (consumption
+outpaces generation) — and during the taper a crash burst takes a
+fraction of the processors dark, stranding their queued work exactly
+when the healthy processors begin to starve.  Theorem 4 promises that
+in steady state the normalised extreme load ratio
+
+    ``rho(t) = max_i l_i(t) / (min_j l_j(t) + C)``
+
+stays inside the band ``f^2 * delta/(delta+1-f)``; the burst throws
+``rho`` far out of the band (the victims' frozen queues become the
+maximum while the survivors drain), and the experiment measures the
+spike height and the time until ``rho`` re-enters the band after the
+victims recover and the balancer redistributes the stranded work.
+
+A fault-free run of the *same* workload is recorded alongside as the
+baseline: its ratio never leaves the band, so the spike and the
+recovery are attributable to the injected faults alone.  Everything is
+deterministic in ``(seed, plan)``; ``repro chaos`` is the CLI wrapper
+and ``results/resilience.json`` the canonical artifact (schema checked
+by :func:`validate_resilience` and the tier-2 test).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults.metrics import (
+    extreme_ratio,
+    max_mean_ratio,
+    recovery_report,
+    theorem4_band,
+)
+from repro.faults.plan import FaultPlan, StragglerWindow
+from repro.params import LBParams
+
+__all__ = [
+    "ResilienceConfig",
+    "resilience_experiment",
+    "render_resilience",
+    "validate_resilience",
+    "write_resilience_json",
+]
+
+#: bump when the document layout changes incompatibly
+RESILIENCE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class ResilienceConfig:
+    """Knobs of the crash-burst scenario (times in model time units).
+
+    The workload phases are ``[0, ramp_end)`` generation-heavy,
+    ``[ramp_end, taper_start)`` steady (``g == c``), and
+    ``[taper_start, horizon)`` draining.  The burst must sit inside the
+    taper for the stranded-work story above to apply, but nothing
+    enforces that — out-of-phase bursts are legitimate ablations.
+    """
+
+    n: int = 32
+    horizon: float = 80.0
+    crash_frac: float = 0.1
+    burst_at: float = 30.0
+    burst_duration: float = 15.0
+    message_loss: float = 0.01
+    straggler_factor: float = 1.0   # 1.0 = no stragglers
+    latency: float = 0.1
+    snapshot_dt: float = 0.5
+    ramp_end: float = 20.0
+    taper_start: float = 25.0
+    f: float = 1.3
+    delta: int = 2
+    C: int = 4
+    seed: int = 0
+
+    def params(self) -> LBParams:
+        return LBParams(f=self.f, delta=self.delta, C=self.C)
+
+    def plan(self) -> FaultPlan:
+        stragglers = ()
+        if self.straggler_factor > 1.0:
+            # slow down processor 0 for the burst window (a crashed
+            # victim straggling is harmless: it initiates nothing)
+            stragglers = (
+                StragglerWindow(
+                    proc=0,
+                    start=self.burst_at,
+                    end=self.burst_at + self.burst_duration,
+                    factor=self.straggler_factor,
+                ),
+            )
+        return FaultPlan.crash_burst(
+            self.n,
+            self.crash_frac,
+            at=self.burst_at,
+            duration=self.burst_duration,
+            seed=self.seed,
+            message_loss=self.message_loss,
+            stragglers=stragglers,
+        )
+
+
+def _phased_rates(cfg: ResilienceConfig):
+    """Ramp / steady / taper rate tables for the scenario above.
+
+    Entries are per-action *probabilities* (each processor's Poisson
+    action clock ticks at rate 1): ramp generates at 0.95 vs consume
+    0.05 (net +0.9 load per time unit), steady is 0.5/0.5, taper
+    drains at net −0.8 per time unit.
+    """
+    from repro.core.async_engine import TableRates
+
+    steps = int(np.ceil(cfg.horizon)) + 1
+    g = np.full((steps, cfg.n), 0.5)
+    c = np.full((steps, cfg.n), 0.5)
+    t = np.arange(steps)[:, None]
+    ramp = (t < cfg.ramp_end).repeat(cfg.n, axis=1)
+    taper = (t >= cfg.taper_start).repeat(cfg.n, axis=1)
+    g[ramp], c[ramp] = 0.95, 0.05
+    g[taper], c[taper] = 0.1, 0.9
+    return TableRates(g, c)
+
+
+def _run(cfg: ResilienceConfig, plan: FaultPlan | None) -> dict:
+    from repro.core.async_engine import AsyncEngine
+
+    engine = AsyncEngine(
+        cfg.params(),
+        _phased_rates(cfg),
+        latency=cfg.latency,
+        snapshot_dt=cfg.snapshot_dt,
+        seed=cfg.seed,
+        faults=plan,
+    )
+    res = engine.run(cfg.horizon)
+    report = recovery_report(
+        res.times,
+        res.loads,
+        cfg.params(),
+        burst_start=cfg.burst_at,
+        burst_end=cfg.burst_at + cfg.burst_duration,
+    )
+    return {
+        "report": report.as_dict(),
+        "counters": {
+            "total_ops": res.total_ops,
+            "dropped_ops": res.dropped_ops,
+            "packets_migrated": res.packets_migrated,
+            "retries": res.retries,
+            "give_ups": res.give_ups,
+            "fault_stats": res.fault_stats,
+        },
+        "series": {
+            "times": [float(t) for t in res.times],
+            "extreme_ratio": [
+                float(r) for r in extreme_ratio(res.loads, cfg.C)
+            ],
+            "max_mean": [float(r) for r in max_mean_ratio(res.loads)],
+        },
+    }
+
+
+def resilience_experiment(cfg: ResilienceConfig | None = None) -> dict:
+    """Run the faulted scenario and its fault-free baseline.
+
+    Returns the ``results/resilience.json`` document (plain data, JSON
+    serialisable, schema-checked before return).
+    """
+    cfg = cfg or ResilienceConfig()
+    plan = cfg.plan()
+    doc = {
+        "schema": "repro/resilience",
+        "version": RESILIENCE_SCHEMA_VERSION,
+        "config": asdict(cfg),
+        "band": theorem4_band(cfg.params()),
+        "plan": plan.to_dict(),
+        "faulted": _run(cfg, plan),
+        "baseline": _run(cfg, None),
+    }
+    problems = validate_resilience(doc)
+    if problems:  # pragma: no cover - internal consistency guard
+        raise RuntimeError(f"resilience document malformed: {problems}")
+    return doc
+
+
+def render_resilience(doc: dict) -> str:
+    """ASCII recovery summary of a resilience document."""
+    from repro.experiments.report import render_table
+
+    def row(label: str, run: dict) -> list:
+        r = run["report"]
+        reentry = (
+            f"{r['reentry_time']:.2f}" if r["reentry_time"] is not None
+            else "never"
+        )
+        return [
+            label,
+            f"{r['pre_fault_ratio']:.3f}",
+            f"{r['spike_ratio']:.3f}",
+            f"{r['spike_max_mean']:.3f}",
+            reentry,
+            f"{r['final_ratio']:.3f}",
+        ]
+
+    cfg = doc["config"]
+    table = render_table(
+        ["run", "pre rho", "spike rho", "spike max/mean", "reentry", "final rho"],
+        [row("faulted", doc["faulted"]), row("baseline", doc["baseline"])],
+    )
+    fs = doc["faulted"]["counters"]["fault_stats"] or {}
+    head = (
+        f"crash burst: {cfg['crash_frac']:.0%} of n={cfg['n']} dark over "
+        f"[{cfg['burst_at']:g}, {cfg['burst_at'] + cfg['burst_duration']:g}), "
+        f"message loss {cfg['message_loss']:g}, seed {cfg['seed']}\n"
+        f"Theorem-4 band f^2*delta/(delta+1-f) = {doc['band']:.3f}\n"
+    )
+    tail = (
+        f"fault counters: {json.dumps(fs, sort_keys=True)}"
+        if fs else "fault counters: (none)"
+    )
+    return f"{head}\n{table}\n\n{tail}"
+
+
+def validate_resilience(doc: dict) -> list[str]:
+    """Schema check for a resilience document; returns problem strings.
+
+    Deliberately structural (keys, types, series alignment) rather than
+    behavioural — the tier-2 test asserts the recovery *behaviour* on a
+    freshly generated document separately.
+    """
+    problems: list[str] = []
+
+    def need(mapping, key, types, where):
+        if not isinstance(mapping, dict) or key not in mapping:
+            problems.append(f"{where}: missing key {key!r}")
+            return None
+        val = mapping[key]
+        if not isinstance(val, types) or isinstance(val, bool):
+            problems.append(
+                f"{where}.{key}: expected {types}, got {type(val).__name__}"
+            )
+            return None
+        return val
+
+    if need(doc, "schema", str, "doc") != "repro/resilience":
+        problems.append("doc.schema: must be 'repro/resilience'")
+    need(doc, "version", int, "doc")
+    need(doc, "band", (int, float), "doc")
+    need(doc, "config", dict, "doc")
+    need(doc, "plan", dict, "doc")
+    for run_key in ("faulted", "baseline"):
+        run = need(doc, run_key, dict, "doc")
+        if run is None:
+            continue
+        report = need(run, "report", dict, run_key)
+        if report is not None:
+            for field in (
+                "band", "pre_fault_ratio", "spike_ratio", "spike_max_mean",
+                "final_ratio",
+            ):
+                need(report, field, (int, float), f"{run_key}.report")
+            for field in ("reentry_time", "reentry_snapshots"):
+                if field not in report:
+                    problems.append(f"{run_key}.report: missing key {field!r}")
+        counters = need(run, "counters", dict, run_key)
+        if counters is not None:
+            for field in (
+                "total_ops", "dropped_ops", "packets_migrated",
+                "retries", "give_ups",
+            ):
+                need(counters, field, int, f"{run_key}.counters")
+            if "fault_stats" not in counters:
+                problems.append(f"{run_key}.counters: missing key 'fault_stats'")
+        series = need(run, "series", dict, run_key)
+        if series is not None:
+            lengths = set()
+            for field in ("times", "extreme_ratio", "max_mean"):
+                vals = need(series, field, list, f"{run_key}.series")
+                if vals is not None:
+                    lengths.add(len(vals))
+            if len(lengths) > 1:
+                problems.append(
+                    f"{run_key}.series: unequal series lengths {sorted(lengths)}"
+                )
+    return problems
+
+
+def write_resilience_json(path: str | Path, doc: dict) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")

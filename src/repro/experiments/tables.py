@@ -3,11 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Sequence
 
-import numpy as np
 
-from repro.core.opg import opg_expected_ratio, opg_meanfield_ratio
+from repro.core.opg import opg_meanfield_ratio
 from repro.core.opgc import expected_decrease_ops
 from repro.experiments.config import QualityConfig, default_runs
 from repro.experiments.report import render_table

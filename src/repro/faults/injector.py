@@ -1,0 +1,144 @@
+"""Runtime fault decisions for one simulation run.
+
+A :class:`FaultInjector` wraps one (immutable) :class:`FaultPlan` with
+the per-run state the engines need at speed:
+
+* per-processor sorted window tables for O(log w) crash/straggler
+  lookups (plans are small, but the queries sit on the engines' hot
+  paths);
+* the plan-seeded RNG stream for probabilistic decisions (message
+  loss) — independent of every engine stream, so injecting faults
+  never changes *which* partners are drawn or *what* the workload does,
+  only what the network then breaks;
+* injection counters (what actually fired), folded into the engines'
+  result objects and the ``repro chaos`` report.
+
+An injector is single-run state: construct a fresh one per run (or call
+:meth:`reset` between runs) — replaying the same ``(seed, plan)`` then
+reproduces identical fault decisions bit for bit.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultInjector", "as_injector"]
+
+
+class FaultInjector:
+    """Stateful, deterministic oracle over one :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        # per-proc window tables: (starts, ends) sorted by start
+        self._crash: dict[int, tuple[list[float], list[float]]] = {}
+        for w in sorted(plan.crashes, key=lambda w: (w.proc, w.start)):
+            starts, ends = self._crash.setdefault(w.proc, ([], []))
+            starts.append(w.start)
+            ends.append(w.end)
+        self._straggle: dict[int, list] = {}
+        for w in plan.stragglers:
+            self._straggle.setdefault(w.proc, []).append(w)
+        self.reset()
+
+    def reset(self) -> None:
+        """Restore pristine per-run state (RNG position and counters)."""
+        self.rng = np.random.default_rng(
+            np.random.SeedSequence((self.plan.seed, 0x10EC))
+        )
+        self.lost_messages = 0
+        self.crashed_declines = 0
+        self.partition_declines = 0
+
+    # -- deterministic window queries ------------------------------------
+
+    def crashed(self, proc: int, time: float) -> bool:
+        """Is ``proc`` inside one of its crash windows at ``time``?"""
+        tab = self._crash.get(proc)
+        if tab is None:
+            return False
+        starts, ends = tab
+        k = bisect_right(starts, time) - 1
+        return k >= 0 and time < ends[k]
+
+    def latency_multiplier(self, proc: int, time: float) -> float:
+        """Product of the straggler factors covering ``proc`` at ``time``."""
+        mult = 1.0
+        for w in self._straggle.get(proc, ()):
+            if w.covers(time):
+                mult *= w.factor
+        return mult
+
+    def reachable(self, a: int, b: int, time: float) -> bool:
+        """Can ``a`` and ``b`` join the same operation at ``time``?"""
+        for part in self.plan.partitions:
+            if part.covers(time) and part.side(a) != part.side(b):
+                return False
+        return True
+
+    def partner_declines(self, initiator: int, partner: int, time: float) -> bool:
+        """Fault-induced decline of ``partner``; updates counters."""
+        if self.crashed(partner, time):
+            self.crashed_declines += 1
+            return True
+        if not self.reachable(initiator, partner, time):
+            self.partition_declines += 1
+            return True
+        return False
+
+    # -- probabilistic decisions (plan-seeded stream) --------------------
+
+    def message_lost(self, time: float) -> bool:
+        """Draw one message-loss decision (per completion message)."""
+        if self.plan.message_loss <= 0.0:
+            return False
+        if self.rng.random() < self.plan.message_loss:
+            self.lost_messages += 1
+            return True
+        return False
+
+    # -- schedules for event-driven engines ------------------------------
+
+    def boundary_events(self) -> list[tuple[float, str, int]]:
+        """``(time, kind, proc)`` crash/recover transitions, time-ordered.
+
+        Event-driven engines push these into their queue up front so
+        transitions are delivered (and traced) at exact times; tick
+        engines instead poll :meth:`crashed` per tick.
+        """
+        out: list[tuple[float, str, int]] = []
+        for w in self.plan.crashes:
+            out.append((w.start, "crash", w.proc))
+            out.append((w.end, "recover", w.proc))
+        out.sort(key=lambda e: (e[0], e[2], e[1]))
+        return out
+
+    # -- reporting -------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "lost_messages": self.lost_messages,
+            "crashed_declines": self.crashed_declines,
+            "partition_declines": self.partition_declines,
+        }
+
+
+def as_injector(
+    faults: FaultPlan | FaultInjector | None,
+) -> FaultInjector | None:
+    """Coerce a plan (or injector, or None) into a fresh-enough injector.
+
+    ``None`` and the empty plan both mean "perfect network" and return
+    ``None`` so engines keep their zero-overhead fast path.
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, FaultInjector):
+        return None if faults.plan.is_empty else faults
+    if faults.is_empty:
+        return None
+    return FaultInjector(faults)

@@ -52,6 +52,7 @@ from repro.observability.analysis import (
     diff_summaries,
     loads_from_trace,
     ops_per_tick_from_trace,
+    reconcile_async_trace,
     reconcile_trace,
     render_summary,
     summarise_trace,
@@ -81,4 +82,5 @@ __all__ = [
     "ops_per_tick_from_trace",
     "loads_from_trace",
     "reconcile_trace",
+    "reconcile_async_trace",
 ]

@@ -28,6 +28,7 @@ __all__ = [
     "ops_per_tick_from_trace",
     "loads_from_trace",
     "reconcile_trace",
+    "reconcile_async_trace",
 ]
 
 
@@ -165,4 +166,47 @@ def reconcile_trace(events: Sequence[Mapping], result) -> list[str]:
             f"migrated packets: balance {balance_migrated} + exchange/dance "
             f"{side_channel} != result.packets_migrated {result.packets_migrated}"
         )
+    return problems
+
+
+def reconcile_async_trace(events: Sequence[Mapping], result) -> list[str]:
+    """Cross-check an asynchronous-engine trace against its
+    :class:`~repro.core.async_engine.AsyncResult`.
+
+    Every traced operation outcome is recounted from the events and
+    compared with the counters the engine maintained independently:
+    ``async_balance`` count and migrated sum vs ``total_ops`` /
+    ``packets_migrated``; ``async_drop`` / ``async_retry`` /
+    ``async_giveup`` counts vs ``dropped_ops`` / ``retries`` /
+    ``give_ups``; and, for a faulted run, the ``fault_*`` event counts
+    vs ``result.fault_stats``.  Requires an unbounded tracer (a ring
+    buffer that dropped events cannot reconcile).
+    """
+    problems: list[str] = []
+    counts = Counter(ev["type"] for ev in events)
+
+    def check(label: str, traced: int, counter: int) -> None:
+        if traced != counter:
+            problems.append(f"{traced} {label} events != result counter {counter}")
+
+    check("async_balance", counts.get("async_balance", 0), result.total_ops)
+    check("async_drop", counts.get("async_drop", 0), result.dropped_ops)
+    check("async_retry", counts.get("async_retry", 0), result.retries)
+    check("async_giveup", counts.get("async_giveup", 0), result.give_ups)
+    migrated = sum(
+        ev["migrated"] for ev in events if ev["type"] == "async_balance"
+    )
+    if migrated != result.packets_migrated:
+        problems.append(
+            f"async_balance migrated sum {migrated} != "
+            f"result.packets_migrated {result.packets_migrated}"
+        )
+    fs = result.fault_stats
+    if fs is not None:
+        check("fault_crash", counts.get("fault_crash", 0), fs["crashes"])
+        check("fault_msg_loss", counts.get("fault_msg_loss", 0), fs["lost_messages"])
+        check("fault_reclaim", counts.get("fault_reclaim", 0), fs["reclaimed_ops"])
+        check("fault_straggle", counts.get("fault_straggle", 0), fs["straggled_ops"])
+    elif any(t.startswith("fault_") for t in counts):
+        problems.append("fault_* events recorded but result.fault_stats is None")
     return problems

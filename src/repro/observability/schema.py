@@ -160,6 +160,49 @@ EVENT_SCHEMAS: dict[str, EventSchema] = {
             "A balancing operation dropped because every partner declined.",
             time=float, initiator=int, declined=int,
         ),
+        _schema(
+            "async_retry",
+            "repro.core.async_engine",
+            "A fully declined initiation rescheduled after jittered backoff.",
+            time=float, initiator=int, attempt=int, delay=float,
+        ),
+        _schema(
+            "async_giveup",
+            "repro.core.async_engine",
+            "An initiation abandoned after exhausting the retry budget.",
+            time=float, initiator=int, attempts=int,
+        ),
+        # -- fault injection (repro.core.async_engine + repro.faults) ---
+        _schema(
+            "fault_crash",
+            "repro.core.async_engine",
+            "A scheduled crash window opened: the processor goes dark.",
+            time=float, proc=int,
+        ),
+        _schema(
+            "fault_recover",
+            "repro.core.async_engine",
+            "A crash window closed: the processor resumes with stale state.",
+            time=float, proc=int,
+        ),
+        _schema(
+            "fault_msg_loss",
+            "repro.core.async_engine",
+            "A balancing completion message was lost in transit.",
+            time=float, initiator=int, group=list,
+        ),
+        _schema(
+            "fault_reclaim",
+            "repro.core.async_engine",
+            "Timeout reclaimed the busy flags of a lost operation.",
+            time=float, initiator=int, group=list, waited=float,
+        ),
+        _schema(
+            "fault_straggle",
+            "repro.core.async_engine",
+            "A straggler window stretched an operation's latency.",
+            time=float, initiator=int, factor=float,
+        ),
     )
 }
 

@@ -16,19 +16,41 @@ vector; migrations move the concrete task objects (FIFO from the
 sender — oldest work travels, the common heuristic since old subtrees
 tend to be large).
 
-Everything is deterministic given the seed, and the *result* of the
-computation (optimal tour, solution count, ...) is independent of all
-balancing randomness — the correctness property the tests pin down.
+Crash recovery via lineage
+--------------------------
+With a fault plan attached (``faults=``), a crash wipes the victim's
+*volatile* state: both deques are discarded, exactly as a real node
+loses its in-memory queues.  What survives is the machine's **lineage
+log** — an append-only record, written at spawn time, of every task's
+id, parent id and immutable descriptor, erased only when the task
+executes.  The log is the simulation stand-in for the durable spawn
+journal a production runtime would keep (cf. lineage-based recovery in
+dataflow systems): at the crash the set of unexecuted tasks resident on
+the victim is re-derived from it and parked; at recovery those exact
+descriptors are re-injected (in spawn order) as pending generations and
+re-executed.  Every spawned task therefore executes *exactly once* —
+lost copies are re-created, never duplicated — which is why the
+application result (optimal tour, solution count, ...) is **identical**
+with and without the crash, not merely statistically close; the
+integration tests pin that equality.  ``assert_lockstep`` additionally
+cross-checks that the lineage log's resident set always matches the
+deques plus the parked stashes.
+
+Everything is deterministic given ``(seed, fault plan)``, and the
+*result* of the computation is independent of all balancing and fault
+randomness — the correctness property the tests pin down.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Generic, Iterable, Protocol, TypeVar
+from dataclasses import dataclass
+from typing import Generic, Iterable, Protocol, TypeVar
 
 import numpy as np
 
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.params import LBParams
 from repro.rng import RngFactory
 from repro.runtime.practical import BalancerHooks, PracticalBalancer
@@ -63,6 +85,8 @@ class MachineResult:
     total_ops: int
     packets_migrated: int
     idle_processor_ticks: int
+    crashes: int = 0           # crash windows entered
+    tasks_recovered: int = 0   # descriptors re-injected from lineage
 
     @property
     def n(self) -> int:
@@ -76,21 +100,28 @@ class MachineResult:
 
 
 class _DequeHooks(BalancerHooks):
-    """Keeps per-processor deques in lock-step with the balancer."""
+    """Keeps per-processor deques in lock-step with the balancer.
+
+    Deque entries are ``(tid, task)`` pairs — the task id threads the
+    lineage log through every move a descriptor makes.
+    """
 
     def __init__(self, machine: "TaskMachine") -> None:
         self.m = machine
 
     def on_generate(self, i: int) -> None:
-        task = self.m.pending[i].popleft()
-        self.m.queues[i].append(task)
+        entry = self.m.pending[i].popleft()
+        self.m.queues[i].append(entry)
 
     def on_consume(self, i: int) -> None:
-        task = self.m.queues[i].popleft()
+        tid, task = self.m.queues[i].popleft()
         children = list(self.m.app.execute(task))
         self.m.executed += 1
+        del self.m.lineage[tid]  # executed: leaves the durable log
         if children:
-            self.m.pending[i].extend(children)
+            self.m.pending[i].extend(
+                (self.m._spawn(child, parent=tid), child) for child in children
+            )
             self.m.spawned += len(children)
 
     def on_transfer(self, src: int, dst: int, amount: int) -> None:
@@ -98,6 +129,12 @@ class _DequeHooks(BalancerHooks):
         q_dst = self.m.queues[dst]
         for _ in range(amount):
             q_dst.append(q_src.popleft())
+
+    def on_crash(self, i: int) -> None:
+        self.m._crash(i)
+
+    def on_recover(self, i: int) -> None:
+        self.m._recover(i)
 
 
 class TaskMachine(Generic[T]):
@@ -111,21 +148,61 @@ class TaskMachine(Generic[T]):
         *,
         seed: int = 0,
         check_lockstep: bool = False,
+        faults: FaultPlan | FaultInjector | None = None,
     ) -> None:
         self.n = n
         self.app = app
         self.check_lockstep = check_lockstep
         factory = RngFactory(seed)
         self.balancer = PracticalBalancer(
-            n, params, rng=factory.named("balancer"), hooks=_DequeHooks(self)
+            n, params, rng=factory.named("balancer"), hooks=_DequeHooks(self),
+            faults=faults,
         )
-        self.queues: list[deque[T]] = [deque() for _ in range(n)]
-        self.pending: list[deque[T]] = [deque() for _ in range(n)]
+        self.queues: list[deque[tuple[int, T]]] = [deque() for _ in range(n)]
+        self.pending: list[deque[tuple[int, T]]] = [deque() for _ in range(n)]
+        #: durable lineage log: tid -> parent tid, for every spawned,
+        #: not-yet-executed task (-1 = root).  Written at spawn, erased
+        #: at execution — the recovery source of truth.
+        self.lineage: dict[int, int] = {}
+        self._next_tid = 0
+        self._stash: list[list[tuple[int, T]]] = [[] for _ in range(n)]
         self.executed = 0
         self.spawned = 0
+        self.tasks_recovered = 0
         seeds = list(app.initial_tasks())
-        self.pending[0].extend(seeds)
+        self.pending[0].extend((self._spawn(t, parent=-1), t) for t in seeds)
         self.spawned += len(seeds)
+
+    def _spawn(self, task: T, *, parent: int) -> int:
+        tid = self._next_tid
+        self._next_tid += 1
+        self.lineage[tid] = parent
+        return tid
+
+    # -- fault recovery ----------------------------------------------------
+
+    def _crash(self, i: int) -> None:
+        """Volatile deques are lost; park the lineage-resident set.
+
+        Invoked by the balancer *before* it zeroes ``l[i]``, so the
+        deques still mirror the load vector: the resident unexecuted
+        descriptors are exactly the deque contents, which is what the
+        durable log would re-derive.
+        """
+        lost = list(self.pending[i]) + list(self.queues[i])
+        self.pending[i].clear()
+        self.queues[i].clear()
+        # spawn order is the deterministic re-injection order
+        lost.sort(key=lambda e: e[0])
+        self._stash[i].extend(lost)
+
+    def _recover(self, i: int) -> None:
+        """Re-inject the parked descriptors as pending generations."""
+        stash = self._stash[i]
+        if stash:
+            self.tasks_recovered += len(stash)
+            self.pending[i].extend(stash)
+            self._stash[i] = []
 
     # -- driving -----------------------------------------------------------
 
@@ -160,7 +237,8 @@ class TaskMachine(Generic[T]):
             raise RuntimeError(
                 f"task pool not drained after {max_ticks} ticks "
                 f"(remaining: {sum(map(len, self.queues))} queued, "
-                f"{sum(map(len, self.pending))} pending)"
+                f"{sum(map(len, self.pending))} pending, "
+                f"{sum(map(len, self._stash))} awaiting recovery)"
             )
         return MachineResult(
             ticks=ticks,
@@ -170,20 +248,36 @@ class TaskMachine(Generic[T]):
             total_ops=self.balancer.total_ops,
             packets_migrated=self.balancer.packets_migrated,
             idle_processor_ticks=idle,
+            crashes=self.balancer.crash_events,
+            tasks_recovered=self.tasks_recovered,
         )
 
     # -- introspection -------------------------------------------------------
 
     @property
     def finished(self) -> bool:
-        return all(not q for q in self.queues) and all(
-            not p for p in self.pending
+        return (
+            all(not q for q in self.queues)
+            and all(not p for p in self.pending)
+            and all(not s for s in self._stash)
         )
 
     def assert_lockstep(self) -> None:
-        """Deque lengths must equal the balancer's load vector."""
+        """Deque lengths must equal the balancer's load vector, and the
+        lineage log's resident set must equal deques + parked stashes."""
         lengths = np.array([len(q) for q in self.queues], dtype=np.int64)
         if not np.array_equal(lengths, self.balancer.l):
             raise AssertionError(
                 f"queues out of lock-step: {lengths} vs {self.balancer.l}"
+            )
+        resident: set[int] = set()
+        for store in (self.queues, self.pending, self._stash):
+            for entries in store:
+                resident.update(tid for tid, _ in entries)
+        if resident != set(self.lineage):
+            missing = sorted(set(self.lineage) - resident)[:5]
+            extra = sorted(resident - set(self.lineage))[:5]
+            raise AssertionError(
+                f"lineage log out of sync: log-only tids {missing}, "
+                f"resident-only tids {extra}"
             )

@@ -27,7 +27,6 @@ from typing import Any, Protocol
 
 import numpy as np
 
-from repro.core.borrowing import BorrowCounters
 from repro.core.engine import Engine, EngineConfig
 from repro.core.selection import CandidateSelector
 from repro.observability.metrics import MetricsRegistry

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Generic, Iterator, TypeVar
+from typing import Generic, Iterator, TypeVar
 
 P = TypeVar("P")
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.baselines import Diffusion, WorkStealing, run_baseline
 from repro.network import Hypercube, Ring, Torus2D
-from repro.workload import OneProducer, UniformRandom
+from repro.workload import OneProducer
 
 
 class TestDiffusion:

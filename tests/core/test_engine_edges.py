@@ -1,7 +1,6 @@
 """Engine edge cases: minimal networks, extreme parameters, churn."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Figure 6 computation modes agree with each other."""
 
 import numpy as np
-import pytest
 
 from repro.experiments.figures import figure6
 

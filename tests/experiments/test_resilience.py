@@ -1,0 +1,107 @@
+"""Tests for the crash-burst resilience experiment and its artifact."""
+
+import json
+
+import pytest
+
+from repro.experiments.resilience import (
+    ResilienceConfig,
+    render_resilience,
+    resilience_experiment,
+    validate_resilience,
+    write_resilience_json,
+)
+
+
+def small_config(**kw):
+    defaults = dict(n=16, horizon=60.0, seed=0)
+    defaults.update(kw)
+    return ResilienceConfig(**defaults)
+
+
+class TestValidator:
+    def make_doc(self):
+        report = {
+            "band": 1.9, "pre_fault_ratio": 1.1, "spike_ratio": 3.0,
+            "spike_max_mean": 4.0, "reentry_time": 1.0,
+            "reentry_snapshots": 2, "final_ratio": 0.4,
+        }
+        run = {
+            "report": dict(report),
+            "counters": {
+                "total_ops": 10, "dropped_ops": 1, "packets_migrated": 20,
+                "retries": 2, "give_ups": 0, "fault_stats": None,
+            },
+            "series": {
+                "times": [0.0, 1.0], "extreme_ratio": [1.0, 1.1],
+                "max_mean": [1.0, 1.0],
+            },
+        }
+        return {
+            "schema": "repro/resilience", "version": 1, "band": 1.9,
+            "config": {}, "plan": {},
+            "faulted": run,
+            "baseline": json.loads(json.dumps(run)),
+        }
+
+    def test_accepts_wellformed(self):
+        assert validate_resilience(self.make_doc()) == []
+
+    def test_rejects_wrong_schema_tag(self):
+        doc = self.make_doc()
+        doc["schema"] = "something/else"
+        assert any("repro/resilience" in p for p in validate_resilience(doc))
+
+    def test_rejects_missing_report_field(self):
+        doc = self.make_doc()
+        del doc["faulted"]["report"]["spike_ratio"]
+        assert any("spike_ratio" in p for p in validate_resilience(doc))
+
+    def test_rejects_misaligned_series(self):
+        doc = self.make_doc()
+        doc["baseline"]["series"]["times"].append(2.0)
+        assert any("unequal series" in p for p in validate_resilience(doc))
+
+    def test_rejects_non_int_counter(self):
+        doc = self.make_doc()
+        doc["faulted"]["counters"]["total_ops"] = 10.5
+        assert any("total_ops" in p for p in validate_resilience(doc))
+
+
+@pytest.mark.tier2
+class TestResilienceEndToEnd:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return resilience_experiment(small_config())
+
+    def test_document_schema_valid(self, doc):
+        assert validate_resilience(doc) == []
+
+    def test_spike_leaves_band_and_recovers(self, doc):
+        faulted = doc["faulted"]["report"]
+        assert faulted["spike_ratio"] > doc["band"]
+        assert faulted["reentry_time"] is not None
+        assert faulted["final_ratio"] <= doc["band"]
+
+    def test_baseline_stays_in_band(self, doc):
+        baseline = doc["baseline"]["report"]
+        assert baseline["spike_ratio"] <= doc["band"]
+        assert doc["baseline"]["counters"]["fault_stats"] is None
+
+    def test_fault_counters_recorded(self, doc):
+        fs = doc["faulted"]["counters"]["fault_stats"]
+        assert fs["crashes"] == len(doc["plan"]["crashes"]) > 0
+
+    def test_deterministic(self, doc):
+        again = resilience_experiment(small_config())
+        assert again == doc
+
+    def test_json_roundtrip(self, doc, tmp_path):
+        path = tmp_path / "resilience.json"
+        write_resilience_json(path, doc)
+        assert validate_resilience(json.loads(path.read_text())) == []
+
+    def test_render(self, doc):
+        out = render_resilience(doc)
+        assert "Theorem-4 band" in out
+        assert "faulted" in out and "baseline" in out

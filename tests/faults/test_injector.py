@@ -1,0 +1,115 @@
+"""Tests for the runtime fault injector."""
+
+
+from repro.faults.injector import FaultInjector, as_injector
+from repro.faults.plan import (
+    NO_FAULTS,
+    CrashWindow,
+    FaultPlan,
+    Partition,
+    StragglerWindow,
+)
+
+
+def make_plan(**kw):
+    defaults = dict(
+        crashes=(
+            CrashWindow(proc=1, start=2.0, end=5.0),
+            CrashWindow(proc=1, start=8.0, end=9.0),
+            CrashWindow(proc=3, start=0.0, end=1.0),
+        ),
+        stragglers=(
+            StragglerWindow(proc=0, start=0.0, end=4.0, factor=2.0),
+            StragglerWindow(proc=0, start=3.0, end=6.0, factor=3.0),
+        ),
+        partitions=(Partition(start=1.0, end=2.0, groups=((0, 1), (2, 3))),),
+        message_loss=0.5,
+        seed=7,
+    )
+    defaults.update(kw)
+    return FaultPlan(**defaults)
+
+
+class TestWindowQueries:
+    def test_crashed_bisect_tables(self):
+        inj = FaultInjector(make_plan())
+        assert not inj.crashed(1, 1.9)
+        assert inj.crashed(1, 2.0)
+        assert inj.crashed(1, 4.9)
+        assert not inj.crashed(1, 5.0)
+        assert inj.crashed(1, 8.5)     # second window, same proc
+        assert not inj.crashed(0, 2.0)  # never-crashing proc
+        assert inj.crashed(3, 0.5)
+
+    def test_latency_multiplier_stacks(self):
+        inj = FaultInjector(make_plan())
+        assert inj.latency_multiplier(0, 1.0) == 2.0
+        assert inj.latency_multiplier(0, 3.5) == 6.0   # both windows cover
+        assert inj.latency_multiplier(0, 5.0) == 3.0
+        assert inj.latency_multiplier(0, 7.0) == 1.0
+        assert inj.latency_multiplier(2, 3.5) == 1.0
+
+    def test_reachability_during_partition(self):
+        inj = FaultInjector(make_plan())
+        assert inj.reachable(0, 1, 1.5)       # same group
+        assert not inj.reachable(0, 2, 1.5)   # across the cut
+        assert inj.reachable(0, 2, 2.5)       # partition healed
+        # processors outside every group form the implicit rest group
+        assert inj.reachable(4, 5, 1.5)
+        assert not inj.reachable(0, 4, 1.5)
+
+    def test_partner_declines_updates_counters(self):
+        inj = FaultInjector(make_plan())
+        assert inj.partner_declines(0, 1, 3.0)       # crashed
+        assert inj.partner_declines(0, 2, 1.5)       # partitioned
+        assert not inj.partner_declines(0, 2, 6.0)   # healthy
+        assert inj.counters()["crashed_declines"] == 1
+        assert inj.counters()["partition_declines"] == 1
+
+
+class TestStochasticStream:
+    def test_message_loss_deterministic_across_resets(self):
+        inj = FaultInjector(make_plan())
+        first = [inj.message_lost(float(t)) for t in range(50)]
+        lost = inj.lost_messages
+        assert 0 < lost < 50  # p=0.5: both outcomes occur
+        inj.reset()
+        assert inj.lost_messages == 0
+        assert [inj.message_lost(float(t)) for t in range(50)] == first
+        assert inj.lost_messages == lost
+
+    def test_zero_loss_draws_nothing(self):
+        inj = FaultInjector(make_plan(message_loss=0.0, seed=1))
+        state_before = inj.rng.bit_generator.state
+        assert not any(inj.message_lost(float(t)) for t in range(20))
+        assert inj.rng.bit_generator.state == state_before
+
+    def test_plan_seed_changes_stream(self):
+        a = FaultInjector(make_plan(seed=1))
+        b = FaultInjector(make_plan(seed=2))
+        draws_a = [a.message_lost(0.0) for _ in range(64)]
+        draws_b = [b.message_lost(0.0) for _ in range(64)]
+        assert draws_a != draws_b
+
+
+class TestBoundaryEvents:
+    def test_sorted_and_complete(self):
+        inj = FaultInjector(make_plan())
+        events = inj.boundary_events()
+        assert len(events) == 6  # crash+recover per window
+        times = [t for t, _, _ in events]
+        assert times == sorted(times)
+        assert events[0] == (0.0, "crash", 3)
+        assert (5.0, "recover", 1) in events
+
+
+class TestAsInjector:
+    def test_coercions(self):
+        assert as_injector(None) is None
+        assert as_injector(NO_FAULTS) is None
+        assert as_injector(FaultPlan()) is None
+        plan = make_plan()
+        inj = as_injector(plan)
+        assert isinstance(inj, FaultInjector)
+        assert as_injector(inj) is inj
+        assert as_injector(FaultInjector(FaultPlan())) is None

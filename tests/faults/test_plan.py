@@ -1,0 +1,120 @@
+"""Tests for the declarative fault plan."""
+
+import json
+
+import pytest
+
+from repro.faults.plan import (
+    NO_FAULTS,
+    CrashWindow,
+    FaultPlan,
+    Partition,
+    StragglerWindow,
+)
+
+
+class TestWindows:
+    def test_crash_window_covers(self):
+        w = CrashWindow(proc=1, start=2.0, end=5.0)
+        assert not w.covers(1.9)
+        assert w.covers(2.0)
+        assert w.covers(4.999)
+        assert not w.covers(5.0)  # half-open
+
+    def test_crash_window_validation(self):
+        with pytest.raises(ValueError):
+            CrashWindow(proc=0, start=3.0, end=3.0)
+        with pytest.raises(ValueError):
+            CrashWindow(proc=0, start=-1.0, end=3.0)
+        with pytest.raises(ValueError):
+            CrashWindow(proc=-1, start=0.0, end=1.0)
+        with pytest.raises(ValueError):
+            CrashWindow(proc=0, start=0.0, end=float("inf"))
+
+    def test_straggler_factor_validation(self):
+        with pytest.raises(ValueError):
+            StragglerWindow(proc=0, start=0.0, end=1.0, factor=0.5)
+        w = StragglerWindow(proc=0, start=0.0, end=1.0, factor=3.0)
+        assert w.factor == 3.0
+
+    def test_partition_side(self):
+        p = Partition(start=0.0, end=2.0, groups=((0, 1), (2, 3)))
+        assert p.side(0) == p.side(1) == 0
+        assert p.side(2) == 1
+        assert p.side(7) == -1  # implicit third group
+
+    def test_partition_groups_disjoint(self):
+        with pytest.raises(ValueError):
+            Partition(start=0.0, end=1.0, groups=((0, 1), (1, 2)))
+
+
+class TestFaultPlan:
+    def test_empty(self):
+        assert NO_FAULTS.is_empty
+        assert FaultPlan().is_empty
+        assert not FaultPlan(message_loss=0.1).is_empty
+
+    def test_overlapping_crash_windows_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(crashes=(
+                CrashWindow(proc=0, start=0.0, end=5.0),
+                CrashWindow(proc=0, start=4.0, end=6.0),
+            ))
+        # different processors may overlap freely
+        FaultPlan(crashes=(
+            CrashWindow(proc=0, start=0.0, end=5.0),
+            CrashWindow(proc=1, start=4.0, end=6.0),
+        ))
+
+    def test_message_loss_range(self):
+        with pytest.raises(ValueError):
+            FaultPlan(message_loss=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(message_loss=-0.1)
+
+    def test_validate_for_network(self):
+        plan = FaultPlan(crashes=(CrashWindow(proc=5, start=0.0, end=1.0),))
+        plan.validate_for_network(8)
+        with pytest.raises(ValueError):
+            plan.validate_for_network(4)
+
+    def test_max_time(self):
+        plan = FaultPlan(
+            crashes=(CrashWindow(proc=0, start=0.0, end=3.0),),
+            stragglers=(StragglerWindow(proc=1, start=1.0, end=7.0, factor=2.0),),
+        )
+        assert plan.max_time == 7.0
+
+    def test_crash_burst_deterministic(self):
+        a = FaultPlan.crash_burst(32, 0.25, at=5.0, duration=2.0, seed=3)
+        b = FaultPlan.crash_burst(32, 0.25, at=5.0, duration=2.0, seed=3)
+        c = FaultPlan.crash_burst(32, 0.25, at=5.0, duration=2.0, seed=4)
+        assert a == b
+        assert a != c
+        assert len(a.crashes) == 8
+        assert all(w.start == 5.0 and w.end == 7.0 for w in a.crashes)
+
+    def test_crash_burst_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan.crash_burst(8, 1.5, at=0.0, duration=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan.crash_burst(8, 0.5, at=0.0, duration=0.0)
+
+    def test_roundtrip_dict_and_json(self, tmp_path):
+        plan = FaultPlan(
+            crashes=(CrashWindow(proc=2, start=1.0, end=4.0),),
+            stragglers=(StragglerWindow(proc=0, start=0.0, end=9.0, factor=4.0),),
+            partitions=(Partition(start=2.0, end=3.0, groups=((0, 1), (2,))),),
+            message_loss=0.05,
+            seed=9,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        path = tmp_path / "plan.json"
+        plan.to_json(path)
+        json.loads(path.read_text())  # valid JSON on disk
+        assert FaultPlan.from_json(path) == plan
+
+    def test_with_seed(self):
+        plan = FaultPlan(message_loss=0.1, seed=1)
+        assert plan.with_seed(2).seed == 2
+        assert plan.with_seed(2).message_loss == 0.1

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.metrics.confidence import ConfidenceInterval, bootstrap_ci, compare_means
+from repro.metrics.confidence import bootstrap_ci, compare_means
 
 
 class TestBootstrapCI:

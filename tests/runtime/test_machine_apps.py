@@ -5,7 +5,6 @@ exact and independent of every balancing parameter, seed and processor
 count — only the schedule changes.
 """
 
-import numpy as np
 import pytest
 
 from repro.apps import (

@@ -1,0 +1,143 @@
+"""Crash recovery in the task runtime: lineage keeps results exact.
+
+The pinned property is equality, not statistical closeness: with a
+crash burst injected, the application's answer (N-queens solution
+count, knapsack optimum) is *identical* to the fault-free run, because
+every spawned task is re-executed from the lineage log exactly once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.knapsack import KnapsackApp, KnapsackInstance, dp_knapsack
+from repro.apps.nqueens import KNOWN_COUNTS, NQueensApp
+from repro.faults.plan import CrashWindow, FaultPlan
+from repro.params import LBParams
+from repro.runtime.machine import TaskMachine
+from repro.runtime.practical import BalancerHooks, PracticalBalancer
+
+PARAMS = LBParams(f=1.3, delta=2, C=4)
+
+BURST = FaultPlan(
+    crashes=(
+        CrashWindow(proc=1, start=10.0, end=60.0),
+        CrashWindow(proc=4, start=20.0, end=80.0),
+    ),
+    seed=5,
+)
+
+
+class TestBalancerCrashTransitions:
+    def test_crash_zeroes_load_and_fires_hooks(self):
+        events = []
+
+        class Recorder(BalancerHooks):
+            def on_crash(self, i):
+                events.append(("crash", i))
+
+            def on_recover(self, i):
+                events.append(("recover", i))
+
+        plan = FaultPlan(crashes=(CrashWindow(proc=2, start=2.0, end=5.0),))
+        b = PracticalBalancer(6, PARAMS, rng=0, hooks=Recorder(), faults=plan)
+        gen = np.ones(6, dtype=np.int64)
+        for _ in range(8):
+            b.step(gen)
+        assert ("crash", 2) in events and ("recover", 2) in events
+        assert b.crash_events == 1
+        # ticks 2,3,4 crashed: processor 2 generated on the 5 alive ticks
+        # only (modulo packets balanced its way after recovery)
+        assert b.tick_count == 8
+
+    def test_crashed_processor_takes_no_actions(self):
+        plan = FaultPlan(crashes=(CrashWindow(proc=0, start=0.0, end=100.0),))
+        b = PracticalBalancer(4, PARAMS, rng=0, faults=plan)
+        for _ in range(20):
+            b.step(np.ones(4, dtype=np.int64))
+        assert b.l[0] == 0
+        assert (b.l[1:] > 0).all()
+
+    def test_all_partners_dark_drops_operation(self):
+        # n=3, delta=2: the only possible partners are both crashed
+        plan = FaultPlan(crashes=(
+            CrashWindow(proc=1, start=0.0, end=100.0),
+            CrashWindow(proc=2, start=0.0, end=100.0),
+        ))
+        b = PracticalBalancer(3, PARAMS, rng=0, faults=plan)
+        for _ in range(50):
+            b.step(np.array([1, 0, 0], dtype=np.int64))
+        assert b.dropped_ops > 0
+        assert b.total_ops == 0
+
+    def test_no_faults_requires_no_extra_rng(self):
+        """faults=None and an empty plan leave the tick stream unchanged."""
+        a = PracticalBalancer(6, PARAMS, rng=0)
+        b = PracticalBalancer(6, PARAMS, rng=0, faults=FaultPlan())
+        rng = np.random.default_rng(1)
+        for _ in range(60):
+            acts = rng.integers(-1, 2, size=6)
+            a.step(acts)
+            b.step(acts)
+        assert np.array_equal(a.l, b.l)
+        assert a.total_ops == b.total_ops
+
+
+class TestMachineLineageRecovery:
+    def run_queens(self, faults, seed=3):
+        app = NQueensApp(6)
+        machine = TaskMachine(
+            6, PARAMS, app, seed=seed, check_lockstep=True, faults=faults
+        )
+        result = machine.run(max_ticks=500_000)
+        return app, result
+
+    def test_nqueens_exact_under_crash_burst(self):
+        app_ok, res_ok = self.run_queens(None)
+        app_cr, res_cr = self.run_queens(BURST)
+        assert app_ok.solutions == app_cr.solutions == KNOWN_COUNTS[6]
+        # full enumeration: the tree size is schedule-independent, so
+        # exactly-once re-execution means identical expansion counts
+        assert app_ok.expanded == app_cr.expanded
+        assert res_cr.executed == res_ok.executed
+        assert res_cr.crashes == 2
+        assert res_cr.tasks_recovered > 0
+        assert res_ok.crashes == 0 and res_ok.tasks_recovered == 0
+
+    def test_crash_replay_deterministic(self):
+        _, a = self.run_queens(BURST)
+        _, b = self.run_queens(BURST)
+        assert a.ticks == b.ticks
+        assert a.tasks_recovered == b.tasks_recovered
+        assert np.array_equal(a.loads, b.loads)
+
+    def test_knapsack_optimum_survives_crashes(self):
+        inst = KnapsackInstance.random(14, seed=2)
+        oracle = dp_knapsack(inst)
+        for faults in (None, BURST):
+            app = KnapsackApp(inst)
+            TaskMachine(
+                6, PARAMS, app, seed=1, check_lockstep=True, faults=faults
+            ).run(max_ticks=500_000)
+            assert app.best_value == oracle
+
+    def test_lineage_log_drained(self):
+        app = NQueensApp(5)
+        m = TaskMachine(4, PARAMS, app, seed=0, faults=FaultPlan(
+            crashes=(CrashWindow(proc=0, start=5.0, end=30.0),)
+        ))
+        m.run(max_ticks=500_000)
+        assert m.lineage == {}  # every spawned task executed
+        assert m.finished
+
+    def test_unfinished_run_reports_stash(self):
+        # everything crashes mid-run and never recovers: the resident
+        # tree is stashed and the pool can never drain
+        app = NQueensApp(6)
+        m = TaskMachine(4, PARAMS, app, seed=0, faults=FaultPlan(
+            crashes=tuple(
+                CrashWindow(proc=p, start=10.0, end=1e6) for p in range(4)
+            )
+        ))
+        with pytest.raises(RuntimeError, match="awaiting recovery"):
+            m.run(max_ticks=2_000)
+        assert sum(len(s) for s in m._stash) > 0

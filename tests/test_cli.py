@@ -85,3 +85,55 @@ class TestObservabilityCommands:
         main(["list"])
         out = capsys.readouterr().out
         assert "trace" in out and "profile" in out
+
+
+class TestAsyncAndChaosCommands:
+    def test_trace_async_reconciles(self, capsys):
+        assert main([
+            "trace", "--engine", "async", "--n", "8", "--horizon", "20",
+            "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "traced async run" in out
+        assert "events.async_deliver" in out
+        assert "reconciliation with run aggregates: OK" in out
+
+    def test_trace_async_writes_valid_ndjson(self, tmp_path, capsys):
+        path = tmp_path / "a.ndjson"
+        assert main([
+            "trace", "--engine", "async", "--n", "8", "--horizon", "20",
+            "--trace-out", str(path),
+        ]) == 0
+        assert "(schema valid)" in capsys.readouterr().out
+        from repro.observability import validate_ndjson
+
+        counts = validate_ndjson(path)
+        assert counts["async_deliver"] > 0
+
+    def test_profile_async_sections(self, capsys):
+        assert main([
+            "profile", "--engine", "async", "--n", "8", "--horizon", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "profiled async run" in out
+        assert "async.action" in out and "async.complete" in out
+
+    def test_chaos_writes_schema_valid_json(self, tmp_path, capsys):
+        assert main([
+            "chaos", "--n", "16", "--horizon", "60", "--crash-frac", "0.15",
+            "--out", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem-4 band" in out
+        assert "wrote" in out
+        import json
+
+        from repro.experiments.resilience import validate_resilience
+
+        doc = json.loads((tmp_path / "resilience.json").read_text())
+        assert validate_resilience(doc) == []
+        assert doc["config"]["crash_frac"] == 0.15
+
+    def test_list_mentions_chaos(self, capsys):
+        main(["list"])
+        assert "chaos" in capsys.readouterr().out

@@ -1,6 +1,5 @@
 """Tests for FIX and the Theorem 1/2 structure."""
 
-import math
 
 import pytest
 from hypothesis import given
