@@ -16,7 +16,7 @@ writes the raw series as CSV files.
 Observability tools (see docs/OBSERVABILITY.md)::
 
     repro trace [--n 16] [--steps 200] [--seed 0] [--f 1.3] [--delta 2]
-                [--trace-out trace.ndjson]
+                [--trace-out trace.ndjson] [--capacity N]
     repro trace --diff a.ndjson b.ndjson
     repro trace --engine async [--horizon 50]
     repro profile [--n 64] [--steps 300] [--seed 0]
@@ -24,6 +24,9 @@ Observability tools (see docs/OBSERVABILITY.md)::
     repro bench [--sizes 64,256,1024,4096] [--baseline REV] [--out DIR]
     repro chaos [--n 32] [--horizon 80] [--crash-frac 0.1]
                 [--message-loss 0.01] [--out DIR]
+    repro report [--engine sync|async] [--faulted] [--report-out run.html]
+    repro report --compare REF.json CAND.json [--tolerance 0.75]
+    repro spans [--engine sync|async] [--faulted] | repro spans --trace-in t.ndjson
 
 ``repro trace`` records one deterministic §7 run with the structured
 event tracer on, prints a summary, cross-checks the trace against the
@@ -40,6 +43,15 @@ records the speedup (see docs/PERFORMANCE.md).
 engine (horizon in model time via ``--horizon``); ``repro chaos`` runs
 the crash-burst resilience experiment (:mod:`repro.experiments.resilience`,
 docs/RESILIENCE.md) and writes ``results/resilience.json``.
+
+``repro report`` runs one fully-observed run — conformance monitors,
+balancing-operation spans, metrics, profiler — and renders a
+self-contained markdown report (``--report-out x.html`` writes HTML for
+CI artifacts); ``--faulted`` replays the crash-burst scenario so the
+monitors have a story to tell.  ``repro report --compare A B`` diffs
+two ``BENCH_engine.json`` documents and exits nonzero on drift.
+``repro spans`` prints the span stories of a run (or of a recorded
+NDJSON trace via ``--trace-in``).
 """
 
 from __future__ import annotations
@@ -81,9 +93,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "profile",
             "bench",
             "chaos",
+            "report",
+            "spans",
         ],
         help="artifact to regenerate, or an observability tool "
-        "(trace/profile/bench/chaos)",
+        "(trace/profile/bench/chaos/report/spans)",
     )
     p.add_argument("--runs", type=int, default=None, help="runs per config (paper: 100)")
     p.add_argument("--trials", type=int, default=20_000, help="MC trials (fig6/theorem12)")
@@ -102,6 +116,37 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--diff", type=Path, nargs=2, metavar=("A", "B"), default=None,
         help="diff two recorded NDJSON traces instead of recording (trace)",
+    )
+    p.add_argument(
+        "--capacity", type=int, default=None,
+        help="tracer ring-buffer capacity; events beyond it evict the "
+        "oldest (trace/report/spans; default unbounded)",
+    )
+    p.add_argument(
+        "--trace-in", type=Path, default=None,
+        help="reconstruct spans from this recorded NDJSON trace instead "
+        "of running (spans)",
+    )
+    # report options
+    p.add_argument(
+        "--report-out", type=Path, default=None,
+        help="write the run report to this file; .html gets a "
+        "self-contained HTML page, anything else markdown (report)",
+    )
+    p.add_argument(
+        "--compare", type=Path, nargs=2, metavar=("REF", "CAND"), default=None,
+        help="regression mode: diff two BENCH_engine.json documents, "
+        "exit nonzero on drift (report)",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=0.75,
+        help="throughput ratio below which --compare flags drift; "
+        "counters always compare exactly (report; default 0.75)",
+    )
+    p.add_argument(
+        "--faulted", action="store_true",
+        help="observe the crash-burst resilience scenario instead of a "
+        "clean run (report/spans; implies the async engine)",
     )
     p.add_argument(
         "--engine", choices=["sync", "async"], default="sync",
@@ -203,6 +248,10 @@ def _run_one(cmd: str, args: argparse.Namespace) -> str:
         return _run_bench(args)
     if cmd == "chaos":
         return _run_chaos(args)
+    if cmd == "report":
+        return _run_report(args)
+    if cmd == "spans":
+        return _run_spans(args)
     raise ValueError(f"unknown command {cmd}")
 
 
@@ -257,7 +306,7 @@ def _run_trace(args: argparse.Namespace) -> str:
         ]
         return render_table([" key", a_path.name, b_path.name, "delta"], rows)
 
-    tracer = Tracer()
+    tracer = Tracer(capacity=args.capacity)
     if args.engine == "async":
         from repro.observability import reconcile_async_trace
 
@@ -279,8 +328,21 @@ def _run_trace(args: argparse.Namespace) -> str:
         "",
         render_summary(summarise_trace(tracer.events)),
         "",
+        (
+            f"ring buffer: {tracer.dropped} events evicted "
+            f"(capacity {tracer.capacity}; summary covers the survivors)"
+            if tracer.dropped
+            else "ring buffer: 0 events evicted (complete trace)"
+        ),
+        "",
     ]
-    if problems:
+    if tracer.dropped:
+        # survivors cannot add up to the run totals once the ring
+        # buffer evicted events, so reconciling would cry wolf
+        lines.append(
+            "reconciliation with run aggregates: skipped (truncated trace)"
+        )
+    elif problems:
         lines.append("reconciliation with run aggregates FAILED:")
         lines.extend(f"  - {p}" for p in problems)
     else:
@@ -316,11 +378,14 @@ def _run_profile(args: argparse.Namespace) -> str:
             f"(ops={res.total_ops})"
         )
     rows = [
-        [name, calls, total_ms, mean_us, min_us, max_us]
-        for name, calls, total_ms, mean_us, min_us, max_us in profiler.summary()
+        [name, calls, total_ms, f"{share:.1f}", mean_us, min_us, max_us]
+        for name, calls, total_ms, share, mean_us, min_us, max_us
+        in profiler.summary()
     ]
     table = render_table(
-        ["section", "calls", "total ms", "mean µs", "min µs", "max µs"], rows
+        ["section", "calls", "total ms", "% of total", "mean µs", "min µs",
+         "max µs"],
+        rows,
     )
     return f"{header}\n\n{table}"
 
@@ -356,6 +421,147 @@ def _run_bench(args: argparse.Namespace) -> str:
     path = out_dir / "BENCH_engine.json"
     write_bench_json(path, doc)
     return render_report(doc) + f"\n\nwrote {path}"
+
+
+def _observed_run(args: argparse.Namespace):
+    """One fully-observed run (tracer + monitors + spans + profiler).
+
+    Returns ``(title, meta, tracer, suite, spans, profiler, times,
+    loads, crash_bounds)``.  ``--faulted`` replays the crash-burst
+    resilience scenario (async engine); otherwise ``--engine`` picks the
+    deterministic §7 run the trace/profile commands use.
+    """
+    import numpy as np
+
+    from repro.observability import MonitorSuite, Profiler, SpanRecorder, Tracer
+    from repro.params import LBParams
+
+    tracer = Tracer(capacity=args.capacity)
+    profiler = Profiler()
+    spans = SpanRecorder(tracer)
+    crash_bounds = None
+    if args.faulted:
+        from repro.core.async_engine import AsyncEngine
+        from repro.experiments.resilience import ResilienceConfig, _phased_rates
+
+        cfg = ResilienceConfig(
+            n=args.n,
+            f=args.f, delta=args.delta, C=args.cap, seed=args.seed,
+            **({"horizon": args.horizon} if args.horizon is not None else {}),
+        )
+        suite = MonitorSuite.standard(cfg.params(), tracer=tracer)
+        engine = AsyncEngine(
+            cfg.params(),
+            _phased_rates(cfg),
+            latency=cfg.latency,
+            snapshot_dt=cfg.snapshot_dt,
+            seed=cfg.seed,
+            tracer=tracer,
+            profiler=profiler,
+            spans=spans,
+            monitors=suite,
+            faults=cfg.plan(),
+        )
+        res = engine.run(cfg.horizon)
+        crash_bounds = engine.faults.crash_bounds()
+        title = f"crash-burst run (n={cfg.n}, horizon={cfg.horizon:g})"
+        meta = {
+            "engine": "async (faulted)", "n": cfg.n,
+            "horizon": f"{cfg.horizon:g}", "f": cfg.f, "delta": cfg.delta,
+            "C": cfg.C, "seed": cfg.seed, "crash_frac": cfg.crash_frac,
+            "message_loss": cfg.message_loss, "ops": res.total_ops,
+        }
+        times, loads = res.times, res.loads
+    elif args.engine == "async":
+        params = LBParams(f=args.f, delta=args.delta, C=args.cap)
+        suite = MonitorSuite.standard(params, tracer=tracer)
+        res, horizon = _async_run(
+            args, tracer=tracer, profiler=profiler, spans=spans,
+            monitors=suite,
+        )
+        title = f"async run (n={args.n}, horizon={horizon:g})"
+        meta = {
+            "engine": "async", "n": args.n, "horizon": f"{horizon:g}",
+            "f": args.f, "delta": args.delta, "C": args.cap,
+            "seed": args.seed, "ops": res.total_ops,
+        }
+        times, loads = res.times, res.loads
+    else:
+        params = LBParams(f=args.f, delta=args.delta, C=args.cap)
+        suite = MonitorSuite.standard(params, tracer=tracer)
+        res = _traced_run(
+            args, tracer=tracer, profiler=profiler, spans=spans,
+            monitors=suite,
+        )
+        title = f"sync run (n={args.n}, steps={args.steps})"
+        meta = {
+            "engine": "sync", "n": args.n, "steps": args.steps,
+            "f": args.f, "delta": args.delta, "C": args.cap,
+            "seed": args.seed, "ops": res.total_ops,
+        }
+        times = np.arange(res.loads.shape[0])
+        loads = res.loads
+    return title, meta, tracer, suite, spans, profiler, times, loads, crash_bounds
+
+
+def _run_report(args: argparse.Namespace) -> str:
+    from repro.observability import build_report, compare_bench, load_bench
+    from repro.observability.spans import spans_from_trace
+
+    if args.compare:
+        ref_path, cand_path = args.compare
+        text, ok = compare_bench(
+            load_bench(ref_path), load_bench(cand_path),
+            tolerance=args.tolerance,
+        )
+        if not ok:
+            print(text)
+            raise SystemExit(2)
+        return text
+
+    (title, meta, tracer, suite, spans, profiler, times, loads,
+     crash_bounds) = _observed_run(args)
+    md = build_report(
+        title=title,
+        meta=meta,
+        monitors=suite,
+        spans=spans_from_trace(tracer.events),
+        events=tracer.events,
+        tracer=tracer,
+        times=times,
+        loads=loads,
+        profiler=profiler,
+        crash_bounds=crash_bounds,
+    )
+    if args.report_out:
+        from repro.observability import to_html
+
+        args.report_out.parent.mkdir(parents=True, exist_ok=True)
+        if args.report_out.suffix.lower() in (".html", ".htm"):
+            args.report_out.write_text(to_html(md, title=title))
+        else:
+            args.report_out.write_text(md)
+        return md + f"\n\nwrote {args.report_out}"
+    return md
+
+
+def _run_spans(args: argparse.Namespace) -> str:
+    from repro.observability.spans import render_spans, spans_from_trace
+
+    if args.trace_in:
+        from repro.observability.tracer import read_ndjson
+
+        events = list(read_ndjson(args.trace_in))
+        header = f"spans from {args.trace_in}"
+        return header + "\n\n" + render_spans(spans_from_trace(events))
+
+    title, _meta, tracer, _suite, _spans, _prof, _t, _l, _cb = _observed_run(
+        args
+    )
+    return (
+        f"spans of {title}\n\n"
+        + render_spans(spans_from_trace(tracer.events))
+    )
 
 
 def _run_chaos(args: argparse.Namespace) -> str:
@@ -407,9 +613,12 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         print("available artifacts:", ", ".join(_ALL))
-        print("observability tools: trace, profile (docs/OBSERVABILITY.md)")
-        print("performance tools: bench (docs/PERFORMANCE.md)")
-        print("resilience tools: chaos (docs/RESILIENCE.md)")
+        print(
+            "observability tools: trace, profile, report, spans "
+            "(docs/OBSERVABILITY.md)"
+        )
+        print("performance tools: bench, report --compare (docs/PERFORMANCE.md)")
+        print("resilience tools: chaos, report --faulted (docs/RESILIENCE.md)")
         return 0
     commands = _ALL if args.command == "all" else [args.command]
     for cmd in commands:

@@ -93,7 +93,9 @@ from repro.core.selection import CandidateSelector, GlobalRandomSelector
 from repro.core.triggers import FactorTrigger, TriggerDecision
 from repro.faults.injector import FaultInjector, as_injector
 from repro.faults.plan import FaultPlan
+from repro.observability.monitors import MonitorSuite
 from repro.observability.profiler import NULL_PROFILER, Profiler
+from repro.observability.spans import SpanRecorder
 from repro.observability.tracer import NULL_TRACER, Tracer
 from repro.params import LBParams
 from repro.rng import make_rng
@@ -265,6 +267,8 @@ class AsyncEngine:
         selector: CandidateSelector | None = None,
         tracer: Tracer | None = None,
         profiler: Profiler | None = None,
+        spans: SpanRecorder | None = None,
+        monitors: MonitorSuite | None = None,
         retry: RetryPolicy | None = None,
         faults: FaultPlan | FaultInjector | None = None,
         reclaim_timeout: float | None = None,
@@ -290,6 +294,9 @@ class AsyncEngine:
         self._trace = bool(self.tracer.enabled)
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self._profile = bool(self.profiler.enabled)
+        self.spans = spans
+        self._span = spans is not None
+        self.monitors = monitors
         self.retry = retry or RetryPolicy()
         self.faults = as_injector(faults)
         if self.faults is not None:
@@ -320,6 +327,11 @@ class AsyncEngine:
         # in-flight operations: op id -> (group, initiation time)
         self._inflight: dict[int, tuple[tuple[int, ...], float]] = {}
         self._op_seq = 0
+        # span threading (only populated when spans are on): a span per
+        # trigger *episode* — it survives the retry loop — parked per
+        # initiator until partners accept, then keyed by operation id
+        self._episode_span: dict[int, int] = {}
+        self._op_span: dict[int, int] = {}
         self._attempts = np.zeros(self.n, dtype=np.int64)
         self._retry_pending = np.zeros(self.n, dtype=bool)
 
@@ -341,6 +353,8 @@ class AsyncEngine:
             while ev.time >= next_snap - 1e-12 and next_snap <= horizon:
                 snap_times.append(next_snap)
                 snaps.append(self.l.copy())
+                if self.monitors is not None:
+                    self.monitors.observe(next_snap, snaps[-1])
                 next_snap += self.snapshot_dt
             self.time = ev.time
             kind = ev.payload[0]
@@ -376,6 +390,8 @@ class AsyncEngine:
         while next_snap <= horizon:
             snap_times.append(next_snap)
             snaps.append(self.l.copy())
+            if self.monitors is not None:
+                self.monitors.observe(next_snap, snaps[-1])
             next_snap += self.snapshot_dt
 
         return AsyncResult(
@@ -427,6 +443,10 @@ class AsyncEngine:
     def _do_retry(self, i: int) -> None:
         self._retry_pending[i] = False
         if self.faults is not None and self.faults.crashed(i, self.time):
+            if self._span:
+                sid = self._episode_span.pop(i, None)
+                if sid is not None:
+                    self.spans.end(sid, t=self.time, status="aborted")
             return
         self._maybe_initiate(i)
 
@@ -438,7 +458,15 @@ class AsyncEngine:
         # analysed engine triggers on the own-class load d_ii)
         if self.trigger.check(cur, int(self.l_old[i])) is TriggerDecision.NONE:
             self._attempts[i] = 0  # load drifted back: episode over
+            if self._span:
+                sid = self._episode_span.pop(i, None)
+                if sid is not None:
+                    self.spans.end(sid, t=self.time, status="quiesced")
             return
+        if self._span and i not in self._episode_span:
+            self._episode_span[i] = self.spans.start(
+                t=self.time, op="async_balance", proc=i
+            )
         partners = self.selector.select(i, self.params.delta, self.rng)
         accepted = []
         for p in partners:
@@ -460,6 +488,13 @@ class AsyncEngine:
             self.busy[p] = True
         op = self._op_seq
         self._op_seq += 1
+        if self._span:
+            sid = self._episode_span.pop(i, -1)
+            if sid >= 0:
+                self.spans.point(
+                    sid, t=self.time, phase="partner_select", proc=i
+                )
+                self._op_span[op] = sid
         eff = self.latency
         if self.faults is not None:
             mult = self.faults.latency_multiplier(i, self.time)
@@ -470,6 +505,11 @@ class AsyncEngine:
                     self.tracer.emit(
                         "fault_straggle", time=float(self.time),
                         initiator=int(i), factor=float(mult),
+                    )
+                if self._span and op in self._op_span:
+                    self.spans.point(
+                        self._op_span[op], t=self.time, phase="straggle",
+                        proc=i,
                     )
         self._inflight[op] = (group, self.time)
         self.queue.push(self.time + eff, (_COMPLETE, i, group, op))
@@ -488,6 +528,10 @@ class AsyncEngine:
                 "async_drop", time=float(self.time), initiator=int(i),
                 declined=declined,
             )
+        if self._span and i in self._episode_span:
+            self.spans.point(
+                self._episode_span[i], t=self.time, phase="declined", proc=i
+            )
         attempt = int(self._attempts[i])
         if attempt < self.retry.max_retries:
             self._attempts[i] = attempt + 1
@@ -500,6 +544,10 @@ class AsyncEngine:
                     "async_retry", time=float(self.time), initiator=int(i),
                     attempt=attempt + 1, delay=float(delay),
                 )
+            if self._span and i in self._episode_span:
+                self.spans.point(
+                    self._episode_span[i], t=self.time, phase="retry", proc=i
+                )
         else:
             # budget spent: re-anchor the trigger so the refused
             # processor stops asking while the net is congested
@@ -511,6 +559,10 @@ class AsyncEngine:
                     "async_giveup", time=float(self.time), initiator=int(i),
                     attempts=attempt + 1,
                 )
+            if self._span:
+                sid = self._episode_span.pop(i, None)
+                if sid is not None:
+                    self.spans.end(sid, t=self.time, status="gave_up")
 
     def _complete_balance(
         self, i: int, group: tuple[int, ...], op: int
@@ -525,6 +577,11 @@ class AsyncEngine:
                     "fault_msg_loss", time=float(self.time),
                     initiator=int(i), group=[int(p) for p in group],
                 )
+            if self._span and op in self._op_span:
+                # the span stays open: the timeout path will close it
+                self.spans.point(
+                    self._op_span[op], t=self.time, phase="msg_loss", proc=i
+                )
             return
         del self._inflight[op]
         parts = np.asarray(group, dtype=np.int64)
@@ -538,6 +595,10 @@ class AsyncEngine:
         if len(alive) < 2:
             # everyone else crashed mid-flight: nothing to equalise
             self.aborted_ops += 1
+            if self._span:
+                sid = self._op_span.pop(op, None)
+                if sid is not None:
+                    self.spans.end(sid, t=self.time, status="aborted")
             return
         alive_idx = np.asarray(alive, dtype=np.int64)
         before = self.l[alive_idx].copy()
@@ -558,6 +619,12 @@ class AsyncEngine:
                 loads_after=[int(v) for v in after],
                 migrated=migrated,
             )
+        if self._span:
+            sid = self._op_span.pop(op, None)
+            if sid is not None:
+                self.spans.end(
+                    sid, t=self.time, status="completed", migrated=migrated
+                )
 
     def _reclaim(self, i: int, op: int) -> None:
         """Timeout: release the busy flags of a lost operation."""
@@ -572,6 +639,10 @@ class AsyncEngine:
                 "fault_reclaim", time=float(self.time), initiator=int(i),
                 group=[int(p) for p in group], waited=float(self.time - t0),
             )
+        if self._span:
+            sid = self._op_span.pop(op, None)
+            if sid is not None:
+                self.spans.end(sid, t=self.time, status="reclaimed")
 
     def _fault_boundary(self, proc: int, what: str) -> None:
         if what == "crash":

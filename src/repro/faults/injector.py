@@ -119,6 +119,21 @@ class FaultInjector:
 
     # -- reporting -------------------------------------------------------
 
+    def crash_bounds(self) -> tuple[float, float] | None:
+        """``(earliest crash start, latest recovery)`` of the plan.
+
+        ``None`` when the plan schedules no crashes.  Run reports use
+        this to annotate which part of a monitored timeline was under a
+        crash regime — a Theorem-4-band breach inside these bounds is
+        the injected story, one outside is a genuine anomaly.
+        """
+        if not self.plan.crashes:
+            return None
+        return (
+            min(w.start for w in self.plan.crashes),
+            max(w.end for w in self.plan.crashes),
+        )
+
     def counters(self) -> dict[str, int]:
         return {
             "lost_messages": self.lost_messages,

@@ -25,6 +25,15 @@ package turns every simulation into an inspectable trace:
   the snake deal), mergeable across processes like the metrics.
 * :mod:`repro.observability.analysis` — summarise, reconcile and diff
   recorded traces (the ``repro trace`` CLI is a thin wrapper).
+* :mod:`repro.observability.monitors` — streaming conformance monitors
+  checking the paper's theorem bands *while the run executes*; breaches
+  land in the trace as ``monitor_*`` events.
+* :mod:`repro.observability.spans` — balancing-operation spans: one
+  causal ``span_start``/``span_point``/``span_end`` story per trigger
+  fire, reconstructable from any trace (``repro spans``).
+* :mod:`repro.observability.report` — render a traced run as a
+  self-contained markdown/HTML report; diff two bench documents for
+  regressions (``repro report`` / ``repro report --compare``).
 
 The instrumentation contract — which events exist, what fields they
 carry and which theorem or figure each one supports — is documented in
@@ -57,6 +66,32 @@ from repro.observability.analysis import (
     render_summary,
     summarise_trace,
 )
+from repro.observability.monitors import (
+    Breach,
+    ConservationMonitor,
+    FixpointMonitor,
+    Monitor,
+    MonitorSuite,
+    OpBudgetMonitor,
+    Recovery,
+    Theorem4BandMonitor,
+    VariationMonitor,
+)
+from repro.observability.report import (
+    build_report,
+    compare_bench,
+    load_bench,
+    sparkline,
+    to_html,
+)
+from repro.observability.spans import (
+    Span,
+    SpanRecorder,
+    render_spans,
+    render_waterfall,
+    spans_from_trace,
+    worst_span,
+)
 
 __all__ = [
     "Tracer",
@@ -83,4 +118,24 @@ __all__ = [
     "loads_from_trace",
     "reconcile_trace",
     "reconcile_async_trace",
+    "Monitor",
+    "MonitorSuite",
+    "Breach",
+    "Recovery",
+    "Theorem4BandMonitor",
+    "FixpointMonitor",
+    "VariationMonitor",
+    "ConservationMonitor",
+    "OpBudgetMonitor",
+    "Span",
+    "SpanRecorder",
+    "spans_from_trace",
+    "worst_span",
+    "render_spans",
+    "render_waterfall",
+    "build_report",
+    "to_html",
+    "sparkline",
+    "load_bench",
+    "compare_bench",
 ]

@@ -83,9 +83,18 @@ class Profiler:
 
     # -- reporting -------------------------------------------------------
 
-    def summary(self) -> list[tuple[str, int, float, float, float, float]]:
-        """Rows ``(section, calls, total_ms, mean_us, min_us, max_us)``
-        sorted by total time descending."""
+    def summary(
+        self,
+    ) -> list[tuple[str, int, float, float, float, float, float]]:
+        """Rows ``(section, calls, total_ms, share_pct, mean_us, min_us,
+        max_us)`` sorted by total time descending.
+
+        ``share_pct`` is the section's share of the summed total across
+        all sections — a quick "where does the time go" column.  Nested
+        sections both count their wall time, so shares can exceed 100
+        in aggregate; within one nesting level they partition it.
+        """
+        grand_total = sum(s.total_ns for s in self.records.values())
         rows = []
         for name, s in self.records.items():
             rows.append(
@@ -93,6 +102,7 @@ class Profiler:
                     name,
                     s.count,
                     s.total_ns / 1e6,
+                    100.0 * s.total_ns / grand_total if grand_total else 0.0,
                     s.mean_ns / 1e3,
                     (s.min_ns if s.count else 0) / 1e3,
                     s.max_ns / 1e3,

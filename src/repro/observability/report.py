@@ -1,0 +1,451 @@
+"""Run reports and the bench-regression compare.
+
+Two jobs, both fed by the observability layer and both surfaced by the
+CLI (``repro report``, see ``docs/OBSERVABILITY.md``):
+
+* :func:`build_report` renders one traced run — monitor verdicts
+  (:mod:`repro.observability.monitors`), the balancing-operation span
+  story (:mod:`repro.observability.spans`) with an ASCII waterfall of
+  the worst span, load-timeline sparklines, the per-type event counts
+  (including the tracer's eviction counter) and, when a profiler ran,
+  the hot-section table — into one self-contained markdown document.
+  :func:`to_html` wraps the same document into a dependency-free HTML
+  page (inline CSS, monospace body) suitable for CI artifacts.
+
+* :func:`compare_bench` diffs two ``BENCH_engine.json`` documents
+  (schema ``repro.bench_engine.v1``, written by ``repro bench``).  The
+  engine's operation counters are a pure function of the seeds, so any
+  counter difference is a behavioural regression and always flags
+  drift; throughput only flags when the candidate falls below
+  ``tolerance`` times the reference (hardware varies — CI passes a
+  loose tolerance so counters are the real gate there).  The CLI exits
+  nonzero when drift is flagged.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "sparkline",
+    "build_report",
+    "to_html",
+    "load_bench",
+    "compare_bench",
+]
+
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Unicode block sparkline, resampled to at most ``width`` chars."""
+    xs = [float(v) for v in values]
+    if not xs:
+        return ""
+    if len(xs) > width:
+        # mean-pool into width buckets so spikes survive visually
+        edges = np.linspace(0, len(xs), width + 1).astype(int)
+        xs = [
+            float(np.mean(xs[a:b])) if b > a else xs[min(a, len(xs) - 1)]
+            for a, b in zip(edges[:-1], edges[1:])
+        ]
+    lo, hi = min(xs), max(xs)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_LEVELS[1] * len(xs)
+    out = []
+    for v in xs:
+        k = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[max(1, k)])
+    return "".join(out)
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def _monitor_section(monitors, crash_bounds) -> list[str]:
+    verdict_rows = []
+    for v in monitors.verdicts():
+        bound = v.get("bound")
+        extra = {
+            k: val
+            for k, val in v.items()
+            if k not in ("monitor", "ok", "breaches", "samples", "bound")
+        }
+        detail = ", ".join(
+            f"{k}={val:.4g}" if isinstance(val, float) else f"{k}={val}"
+            for k, val in extra.items()
+        )
+        verdict_rows.append(
+            [
+                f"`{v['monitor']}`",
+                "✅ ok" if v["ok"] else "❌ BREACH",
+                v["breaches"],
+                v["samples"],
+                f"{bound:.4g}" if isinstance(bound, float) else "-",
+                detail or "-",
+            ]
+        )
+    lines = [
+        "## Monitor verdicts",
+        "",
+        _md_table(
+            ["monitor", "verdict", "breaches", "samples", "bound", "detail"],
+            verdict_rows,
+        ),
+    ]
+    if crash_bounds is not None:
+        lo, hi = crash_bounds
+        lines += [
+            "",
+            f"Fault plan crash regime: t ∈ [{lo:g}, {hi:g}] — breaches "
+            "inside this window tell the injected story; breaches outside "
+            "it are genuine anomalies.",
+        ]
+    if monitors.breaches:
+        lines += ["", "Breach log:", ""]
+        for b in monitors.breaches:
+            procs = f" procs={list(b.procs)}" if b.procs else ""
+            lines.append(
+                f"- **{b.monitor}** [{b.severity}] at t={b.t:g}: "
+                f"value {b.value:.4g} vs bound {b.bound:.4g}{procs}"
+            )
+        for r in monitors.recoveries:
+            lines.append(
+                f"- *{r.monitor}* recovered at t={r.t:g}: {r.value:.4g} back "
+                f"inside {r.bound:.4g} after {r.ticks_out} snapshots out"
+            )
+    else:
+        lines += ["", "No breaches: every monitored bound held for the whole run."]
+    return lines
+
+
+def _spans_section(spans) -> list[str]:
+    from collections import Counter
+
+    from repro.observability.spans import render_waterfall, worst_span
+
+    lines = ["## Balancing-operation spans", ""]
+    if not spans:
+        lines.append("(no spans recorded)")
+        return lines
+    statuses = Counter(s.status or "open" for s in spans)
+    lines.append(
+        _md_table(
+            ["outcome", "spans"],
+            [[k, v] for k, v in sorted(statuses.items())],
+        )
+    )
+    ranked = sorted(
+        spans,
+        key=lambda s: (s.duration or 0.0, len(s.points), s.migrated),
+        reverse=True,
+    )[:5]
+    lines += [
+        "",
+        _md_table(
+            ["span", "op", "proc", "start", "duration", "status", "steps",
+             "migrated"],
+            [
+                [
+                    s.span, s.op, s.proc, f"{s.start:g}",
+                    f"{s.duration:g}" if s.duration is not None else "-",
+                    s.status or "open", len(s.points), s.migrated,
+                ]
+                for s in ranked
+            ],
+        ),
+    ]
+    worst = worst_span(spans)
+    if worst is not None:
+        lines += [
+            "",
+            "Worst span (longest, then most event-ful):",
+            "",
+            "```",
+            render_waterfall(worst),
+            "```",
+        ]
+    return lines
+
+
+def _timeline_section(times, loads) -> list[str]:
+    loads = np.asarray(loads, dtype=float)
+    series = [
+        ("mean load", loads.mean(axis=1)),
+        ("max load", loads.max(axis=1)),
+        ("min load", loads.min(axis=1)),
+        ("spread (max−min)", loads.max(axis=1) - loads.min(axis=1)),
+    ]
+    t0, t1 = float(times[0]), float(times[-1])
+    lines = [
+        "## Load timeline",
+        "",
+        f"{loads.shape[0]} snapshots over t ∈ [{t0:g}, {t1:g}], "
+        f"n = {loads.shape[1]} processors.",
+        "",
+        "```",
+    ]
+    label_w = max(len(name) for name, _ in series)
+    for name, ys in series:
+        lines.append(
+            f"{name:<{label_w}}  {sparkline(ys)}  "
+            f"[{float(ys.min()):g} … {float(ys.max()):g}]"
+        )
+    lines.append("```")
+    return lines
+
+
+def _events_section(events, tracer) -> list[str]:
+    from collections import Counter
+
+    counts = Counter(ev.get("type", "?") for ev in events)
+    lines = [
+        "## Event stream",
+        "",
+        _md_table(
+            ["event", "count"],
+            [[f"`{k}`", v] for k, v in sorted(counts.items())],
+        ),
+        "",
+        f"{sum(counts.values())} events recorded"
+        + (
+            f"; **{tracer.dropped} evicted** from the ring buffer "
+            f"(capacity {tracer.capacity}) — earliest events are missing"
+            if getattr(tracer, "dropped", 0)
+            else "; 0 evicted (complete trace)"
+        )
+        + ".",
+    ]
+    return lines
+
+
+def _profiler_section(profiler) -> list[str]:
+    rows = profiler.summary()
+    if not rows:
+        return []
+    return [
+        "## Profiler hot sections",
+        "",
+        _md_table(
+            ["section", "calls", "total ms", "% of total", "mean µs",
+             "min µs", "max µs"],
+            [
+                [f"`{name}`", calls, f"{total:.2f}", f"{share:.1f}",
+                 f"{mean:.1f}", f"{lo:.1f}", f"{hi:.1f}"]
+                for name, calls, total, share, mean, lo, hi in rows
+            ],
+        ),
+    ]
+
+
+def build_report(
+    *,
+    title: str,
+    meta: Mapping[str, object],
+    monitors,
+    spans: Sequence,
+    events: Sequence[Mapping],
+    tracer,
+    times: Sequence[float],
+    loads,
+    profiler=None,
+    crash_bounds: tuple[float, float] | None = None,
+) -> str:
+    """Render one traced run as a self-contained markdown document.
+
+    Parameters mirror what a monitored+spanned run leaves behind:
+    the :class:`~repro.observability.monitors.MonitorSuite`, the spans
+    reconstructed by :func:`~repro.observability.spans.spans_from_trace`,
+    the tracer (for the event stream and its eviction counter), the
+    snapshot timeline, and optionally a profiler and the fault plan's
+    crash bounds (:meth:`~repro.faults.injector.FaultInjector.crash_bounds`).
+    """
+    ok = monitors.ok()
+    lines = [
+        f"# Run report: {title}",
+        "",
+        ("**Verdict: all monitors OK.**" if ok
+         else f"**Verdict: {len(monitors.breaches)} monitor breach(es)"
+              " — see the breach log below.**"),
+        "",
+        _md_table(["key", "value"], [[k, v] for k, v in meta.items()]),
+        "",
+    ]
+    lines += _monitor_section(monitors, crash_bounds)
+    lines.append("")
+    lines += _spans_section(spans)
+    lines.append("")
+    lines += _timeline_section(times, loads)
+    lines.append("")
+    lines += _events_section(events, tracer)
+    prof = _profiler_section(profiler) if profiler is not None else []
+    if prof:
+        lines.append("")
+        lines += prof
+    lines.append("")
+    return "\n".join(lines)
+
+
+def to_html(markdown: str, *, title: str = "repro run report") -> str:
+    """Wrap a markdown report into one dependency-free HTML page.
+
+    Headings become ``<h1>``/``<h2>``; everything else stays monospace
+    preformatted text (the report's tables and waterfalls are ASCII by
+    construction), so the file renders identically everywhere with no
+    external assets — exactly what a CI artifact wants.
+    """
+
+    def esc(s: str) -> str:
+        return (
+            s.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        )
+
+    chunks: list[str] = []
+    pre: list[str] = []
+
+    def flush() -> None:
+        if pre:
+            chunks.append("<pre>" + esc("\n".join(pre)) + "</pre>")
+            pre.clear()
+
+    for line in markdown.splitlines():
+        if line.startswith("# "):
+            flush()
+            chunks.append(f"<h1>{esc(line[2:])}</h1>")
+        elif line.startswith("## "):
+            flush()
+            chunks.append(f"<h2>{esc(line[3:])}</h2>")
+        elif line.strip() == "```":
+            continue  # the whole body is preformatted anyway
+        else:
+            pre.append(line)
+    flush()
+    body = "\n".join(chunks)
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n"
+        f"<title>{esc(title)}</title>\n"
+        "<style>\n"
+        "body{font-family:monospace;max-width:72rem;margin:2rem auto;"
+        "padding:0 1rem;background:#fdfdfd;color:#222}\n"
+        "h1,h2{font-family:sans-serif;border-bottom:1px solid #ccc}\n"
+        "pre{white-space:pre-wrap;line-height:1.35}\n"
+        "</style></head><body>\n"
+        f"{body}\n</body></html>\n"
+    )
+
+
+# -- bench regression compare -------------------------------------------
+
+BENCH_SCHEMA = "repro.bench_engine.v1"
+
+
+def load_bench(path: str | Path) -> dict:
+    """Load one ``BENCH_engine.json`` document, checking its schema tag."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {BENCH_SCHEMA!r}, "
+            f"got {doc.get('schema')!r}"
+        )
+    return doc
+
+
+def compare_bench(
+    a: Mapping, b: Mapping, *, tolerance: float = 0.75
+) -> tuple[str, bool]:
+    """Diff two bench documents; return ``(report text, ok)``.
+
+    ``a`` is the reference, ``b`` the candidate.  Per ``(n, profile)``
+    run present in both:
+
+    * ``total_ops`` and every ``events`` counter must match exactly —
+      they are pure functions of the baked-in seeds, so any difference
+      means the engine's *behaviour* changed (drift);
+    * ``ticks_per_sec`` flags drift only when the candidate drops below
+      ``tolerance`` times the reference (throughput is hardware-bound;
+      pass a small tolerance to effectively gate on counters only).
+
+    Runs present on one side only are reported but do not flag drift —
+    the two documents may have been produced with different ``--sizes``.
+    """
+    if not 0.0 < tolerance <= 1.0:
+        raise ValueError(f"tolerance must be in (0, 1], got {tolerance}")
+    a_runs = {(r["n"], r["profile"]): r for r in a.get("runs", ())}
+    b_runs = {(r["n"], r["profile"]): r for r in b.get("runs", ())}
+    shared = sorted(set(a_runs) & set(b_runs))
+    lines = [
+        f"bench compare: reference rev {a.get('git_rev', '?')} vs "
+        f"candidate rev {b.get('git_rev', '?')} "
+        f"({len(shared)} shared runs, throughput tolerance {tolerance:g})",
+    ]
+    only_a = sorted(set(a_runs) - set(b_runs))
+    only_b = sorted(set(b_runs) - set(a_runs))
+    if only_a:
+        lines.append(f"  only in reference (ignored): {only_a}")
+    if only_b:
+        lines.append(f"  only in candidate (ignored): {only_b}")
+    drift: list[str] = []
+    rows = []
+    for key in shared:
+        ra, rb = a_runs[key], b_runs[key]
+        n, profile = key
+        problems = []
+        if ra["total_ops"] != rb["total_ops"]:
+            problems.append(
+                f"total_ops {ra['total_ops']} -> {rb['total_ops']}"
+            )
+        ev_a, ev_b = ra.get("events", {}), rb.get("events", {})
+        for name in sorted(set(ev_a) | set(ev_b)):
+            va, vb = ev_a.get(name, 0), ev_b.get(name, 0)
+            if va != vb:
+                problems.append(f"events.{name} {va} -> {vb}")
+        tps_a, tps_b = ra["ticks_per_sec"], rb["ticks_per_sec"]
+        ratio = tps_b / tps_a if tps_a else float("inf")
+        if ratio < tolerance:
+            problems.append(
+                f"throughput {tps_a:g} -> {tps_b:g} ticks/s "
+                f"(x{ratio:.2f} < {tolerance:g})"
+            )
+        rows.append(
+            [
+                n, profile, f"{tps_a:g}", f"{tps_b:g}", f"x{ratio:.2f}",
+                "DRIFT" if problems else "ok",
+            ]
+        )
+        for p in problems:
+            drift.append(f"n={n} {profile}: {p}")
+    from repro.experiments.report import render_table
+
+    lines.append("")
+    lines.append(
+        render_table(
+            ["n", "profile", "ref ticks/s", "cand ticks/s", "ratio", "verdict"],
+            rows,
+        )
+    )
+    if drift:
+        lines.append("")
+        lines.append(f"DRIFT ({len(drift)} finding(s)):")
+        lines.extend(f"  - {d}" for d in drift)
+    else:
+        lines.append("")
+        lines.append("no drift: counters identical, throughput within tolerance")
+    return "\n".join(lines), not drift

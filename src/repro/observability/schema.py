@@ -203,6 +203,39 @@ EVENT_SCHEMAS: dict[str, EventSchema] = {
             "A straggler window stretched an operation's latency.",
             time=float, initiator=int, factor=float,
         ),
+        # -- conformance monitors (repro.observability.monitors) --------
+        _schema(
+            "monitor_breach",
+            "repro.observability.monitors",
+            "A streaming conformance monitor left its paper band.",
+            t=float, monitor=str, severity=str, value=float, bound=float,
+            procs=list,
+        ),
+        _schema(
+            "monitor_recover",
+            "repro.observability.monitors",
+            "A breached monitor statistic re-entered its band.",
+            t=float, monitor=str, value=float, bound=float, ticks_out=int,
+        ),
+        # -- balancing-operation spans (repro.observability.spans) ------
+        _schema(
+            "span_start",
+            "repro.observability.spans",
+            "A trigger fire opened a balancing-operation span.",
+            span=int, t=float, op=str, proc=int,
+        ),
+        _schema(
+            "span_point",
+            "repro.observability.spans",
+            "An intermediate phase of an open balancing-operation span.",
+            span=int, t=float, phase=str, proc=int,
+        ),
+        _schema(
+            "span_end",
+            "repro.observability.spans",
+            "A balancing-operation span closed with its outcome.",
+            span=int, t=float, status=str, migrated=int,
+        ),
     )
 }
 

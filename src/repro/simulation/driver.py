@@ -16,9 +16,13 @@ record a structured event stream (the driver adds one ``tick`` snapshot
 event per global tick on top of the engine's events), a
 :class:`~repro.observability.metrics.MetricsRegistry` to maintain
 per-tick gauges/histograms plus end-of-run counters, and a
-:class:`~repro.observability.profiler.Profiler` for hot-path timings.
-All three default to off and cost nothing when off.  The emitted event
-types and metric names are documented in ``docs/OBSERVABILITY.md``.
+:class:`~repro.observability.profiler.Profiler` for hot-path timings,
+a :class:`~repro.observability.monitors.MonitorSuite` to check the
+paper's theorem bands online against each per-tick snapshot, and a
+:class:`~repro.observability.spans.SpanRecorder` (threaded into the
+engine) to record one causal span per balancing operation.  All
+default to off and cost nothing when off.  The emitted event types and
+metric names are documented in ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -30,7 +34,9 @@ import numpy as np
 from repro.core.engine import Engine, EngineConfig
 from repro.core.selection import CandidateSelector
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.monitors import MonitorSuite
 from repro.observability.profiler import Profiler
+from repro.observability.spans import SpanRecorder
 from repro.observability.tracer import NULL_TRACER, Tracer
 from repro.params import LBParams
 from repro.rng import RngFactory
@@ -61,6 +67,7 @@ class Simulation:
         workload_rng: np.random.Generator,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        monitors: MonitorSuite | None = None,
     ) -> None:
         if balancer.n != workload.n:
             raise ValueError(
@@ -72,6 +79,7 @@ class Simulation:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._trace = bool(self.tracer.enabled)
         self.metrics = metrics
+        self.monitors = monitors
         self.t = 0
         self.snapshots: list[np.ndarray] = [balancer.loads_snapshot()]
 
@@ -102,6 +110,8 @@ class Simulation:
             m.gauge("load.min").set(lo)
             m.gauge("load.max").set(hi)
             m.histogram("load.spread").observe(hi - lo)
+        if self.monitors is not None:
+            self.monitors.observe(self.t, snap, engine=self.balancer)
 
     def run(self, steps: int) -> np.ndarray:
         """Advance ``steps`` ticks; return the ``(steps+1, n)`` history."""
@@ -125,6 +135,8 @@ def run_simulation(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     profiler: Profiler | None = None,
+    monitors: MonitorSuite | None = None,
+    spans: SpanRecorder | None = None,
 ) -> RunResult:
     """Convenience one-shot: build engine + simulation, run, package.
 
@@ -150,6 +162,7 @@ def run_simulation(
         selector=selector,
         tracer=tracer,
         profiler=profiler,
+        spans=spans,
     )
     sim = Simulation(
         engine,
@@ -157,6 +170,7 @@ def run_simulation(
         workload_rng=factory.named("workload"),
         tracer=tracer,
         metrics=metrics,
+        monitors=monitors,
     )
     loads = sim.run(steps)
     if metrics is not None:

@@ -1,6 +1,8 @@
 """Tests for the metrics registry and cross-process merging."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.observability import (
     Counter,
@@ -135,3 +137,52 @@ class TestMerging:
         b.counter("c").inc()
         a.merge(b)
         assert a.counter("c").value == 2
+
+
+# -- property: additive kinds merge order-independently -----------------
+
+_NAMES = ("engine.ops", "engine.borrows", "load.spread")
+_BOUNDS = (1.0, 4.0, 16.0)
+
+
+@st.composite
+def worker_payloads(draw):
+    """A list of as_dict()-shaped worker payloads with counters and
+    histograms only (the additive kinds — gauges are documented as
+    last-write-wins, so order is allowed to matter for them)."""
+    payloads = []
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        reg = MetricsRegistry()
+        for name in draw(st.sets(st.sampled_from(_NAMES))):
+            reg.counter(name).inc(draw(st.integers(min_value=0, max_value=50)))
+        obs = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=40), max_size=8
+            )
+        )
+        if obs:
+            h = reg.histogram("hist", bounds=_BOUNDS)
+            for v in obs:
+                h.observe(v)
+        payloads.append(reg.as_dict())
+    return payloads
+
+
+class TestMergeOrderIndependence:
+    @given(payloads=worker_payloads(), seed=st.integers(0, 2**32 - 1))
+    def test_permuted_payloads_merge_identically(self, payloads, seed):
+        import random
+
+        shuffled = list(payloads)
+        random.Random(seed).shuffle(shuffled)
+        fwd = merge_worker_metrics(payloads).as_dict()
+        perm = merge_worker_metrics(shuffled).as_dict()
+        assert fwd == perm
+        # integer observations keep float sums exact, so the aggregate
+        # totals are also checkable directly
+        total = sum(
+            p.get("histograms", {}).get("hist", {}).get("count", 0)
+            for p in payloads
+        )
+        hists = perm.get("histograms", {})
+        assert hists.get("hist", {}).get("count", 0) == total

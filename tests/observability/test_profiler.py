@@ -51,10 +51,22 @@ class TestProfiler:
         prof.observe_ns("big", 9_000_000)
         rows = prof.summary()
         assert [r[0] for r in rows] == ["big", "small"]
-        name, calls, total_ms, mean_us, min_us, max_us = rows[0]
+        name, calls, total_ms, share_pct, mean_us, min_us, max_us = rows[0]
         assert calls == 1
         assert total_ms == pytest.approx(9.0)
         assert mean_us == pytest.approx(9_000.0)
+
+    def test_summary_share_of_total(self):
+        prof = Profiler()
+        prof.observe_ns("a", 3_000)
+        prof.observe_ns("b", 1_000)
+        shares = {row[0]: row[3] for row in prof.summary()}
+        assert shares["a"] == pytest.approx(75.0)
+        assert shares["b"] == pytest.approx(25.0)
+        assert sum(shares.values()) == pytest.approx(100.0)
+
+    def test_summary_share_empty_profiler(self):
+        assert Profiler().summary() == []
 
     def test_as_dict_merge_dict_round_trip(self):
         a = Profiler()

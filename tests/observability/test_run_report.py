@@ -1,0 +1,216 @@
+"""Tests for run reports and the bench-regression compare."""
+
+import copy
+import json
+
+import numpy as np
+import pytest
+
+from repro import LBParams
+from repro.observability import (
+    MonitorSuite,
+    SpanRecorder,
+    Tracer,
+    build_report,
+    compare_bench,
+    load_bench,
+    sparkline,
+    spans_from_trace,
+    to_html,
+)
+from repro.observability.report import BENCH_SCHEMA
+
+PARAMS = LBParams(f=1.3, delta=2, C=4)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_renders_flat(self):
+        out = sparkline([3.0] * 10)
+        assert len(out) == 10 and len(set(out)) == 1
+
+    def test_resamples_to_width(self):
+        out = sparkline(list(range(1000)), width=40)
+        assert len(out) == 40
+
+    def test_monotone_series_ends_at_peak(self):
+        out = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8])
+        assert out[-1] == "█" and out[0] != "█"
+
+
+def observed_run(n=8, steps=80, seed=4):
+    from repro.simulation.driver import run_simulation
+    from repro.workload import Section7Workload
+
+    tracer = Tracer()
+    suite = MonitorSuite.standard(PARAMS, tracer=tracer)
+    spans = SpanRecorder(tracer)
+    res = run_simulation(
+        n, PARAMS, Section7Workload(n, steps, layout_rng=seed), steps,
+        seed=seed, tracer=tracer, monitors=suite, spans=spans,
+    )
+    return res, tracer, suite
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        res, tracer, suite = observed_run()
+        md = build_report(
+            title="unit-test run",
+            meta={"n": 8, "steps": 80, "seed": 4},
+            monitors=suite,
+            spans=spans_from_trace(tracer.events),
+            events=tracer.events,
+            tracer=tracer,
+            times=np.arange(len(res.loads), dtype=float),
+            loads=res.loads,
+        )
+        return md
+
+    def test_sections_present(self, report):
+        for heading in (
+            "# Run report: unit-test run",
+            "## Monitor verdicts",
+            "## Balancing-operation spans",
+            "## Load timeline",
+            "## Event stream",
+        ):
+            assert heading in report
+
+    def test_clean_run_verdict_and_eviction_line(self, report):
+        assert "**Verdict: all monitors OK.**" in report
+        assert "No breaches" in report
+        assert "0 evicted (complete trace)" in report
+
+    def test_monitor_table_lists_standard_suite(self, report):
+        for name in (
+            "theorem4_band", "fixpoint", "variation", "conservation",
+            "op_budget",
+        ):
+            assert f"`{name}`" in report
+
+    def test_spans_and_waterfall(self, report):
+        assert "worst span" in report.lower()
+        assert "| completed |" in report
+
+    def test_crash_bounds_annotation(self):
+        res, tracer, suite = observed_run(steps=40)
+        md = build_report(
+            title="t", meta={}, monitors=suite, spans=[],
+            events=tracer.events, tracer=tracer,
+            times=np.arange(len(res.loads), dtype=float), loads=res.loads,
+            crash_bounds=(30.0, 45.0),
+        )
+        assert "crash regime: t ∈ [30, 45]" in md
+
+    def test_eviction_counter_surfaces(self):
+        tracer = Tracer(capacity=8)
+        for k in range(20):
+            tracer.emit("tick", t=k)
+        suite = MonitorSuite.standard(PARAMS)
+        suite.observe(0.0, np.array([1, 1, 1, 1], dtype=np.int64))
+        md = build_report(
+            title="t", meta={}, monitors=suite, spans=[],
+            events=tracer.events, tracer=tracer,
+            times=[0.0, 1.0], loads=np.ones((2, 4)),
+        )
+        assert "**12 evicted** from the ring buffer (capacity 8)" in md
+
+
+class TestToHtml:
+    def test_self_contained_page(self):
+        html = to_html("# Title\n\nbody & <stuff>", title="my <report>")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<title>my &lt;report&gt;</title>" in html
+        assert "<h1>Title</h1>" in html
+        assert "body &amp; &lt;stuff&gt;" in html
+        assert "<style>" in html            # inline CSS, no external assets
+        assert "http" not in html
+
+    def test_fences_are_absorbed_into_pre(self):
+        html = to_html("## S\n\n```\nascii art\n```")
+        assert "```" not in html
+        assert "ascii art" in html
+
+
+def bench_doc(**overrides):
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "git_rev": "abc1234",
+        "runs": [
+            {
+                "n": 64, "profile": "quiet", "ticks_per_sec": 1000.0,
+                "total_ops": 0, "events": {"trigger": 0},
+            },
+            {
+                "n": 64, "profile": "stationary", "ticks_per_sec": 500.0,
+                "total_ops": 2215, "events": {"trigger": 2215, "borrow": 90},
+            },
+        ],
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestCompareBench:
+    def test_identical_docs_no_drift(self):
+        text, ok = compare_bench(bench_doc(), bench_doc())
+        assert ok and "no drift" in text
+
+    def test_counter_mismatch_always_drifts(self):
+        cand = bench_doc()
+        cand["runs"][1]["total_ops"] += 1
+        text, ok = compare_bench(bench_doc(), cand, tolerance=0.01)
+        assert not ok
+        assert "total_ops 2215 -> 2216" in text
+
+    def test_event_counter_mismatch_drifts(self):
+        cand = copy.deepcopy(bench_doc())
+        cand["runs"][1]["events"]["borrow"] = 91
+        _, ok = compare_bench(bench_doc(), cand)
+        assert not ok
+
+    def test_throughput_below_tolerance_drifts(self):
+        cand = bench_doc()
+        cand["runs"][0]["ticks_per_sec"] = 600.0  # x0.6 < 0.75
+        text, ok = compare_bench(bench_doc(), cand, tolerance=0.75)
+        assert not ok and "throughput" in text
+
+    def test_throughput_within_tolerance_ok(self):
+        cand = bench_doc()
+        cand["runs"][0]["ticks_per_sec"] = 800.0  # x0.8 >= 0.75
+        _, ok = compare_bench(bench_doc(), cand, tolerance=0.75)
+        assert ok
+
+    def test_disjoint_runs_reported_but_ignored(self):
+        cand = bench_doc()
+        cand["runs"] = [dict(cand["runs"][0], n=256)]
+        text, ok = compare_bench(bench_doc(), cand)
+        assert ok
+        assert "only in reference" in text and "only in candidate" in text
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_bench(bench_doc(), bench_doc(), tolerance=0.0)
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_bench(bench_doc(), bench_doc(), tolerance=1.5)
+
+
+class TestLoadBench:
+    def test_roundtrip(self, tmp_path):
+        p = tmp_path / "b.json"
+        p.write_text(json.dumps(bench_doc()))
+        assert load_bench(p)["git_rev"] == "abc1234"
+
+    def test_schema_tag_checked(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps(bench_doc(schema="something.else")))
+        with pytest.raises(ValueError, match="expected schema"):
+            load_bench(p)
+
+    def test_committed_baseline_loads(self):
+        doc = load_bench("results/BENCH_engine.json")
+        assert doc["runs"], "committed baseline must contain runs"

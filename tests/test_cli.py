@@ -76,15 +76,33 @@ class TestObservabilityCommands:
         out = capsys.readouterr().out
         assert "delta" in out and "balance.ops" in out
 
+    def test_trace_capacity_surfaces_evictions(self, capsys):
+        assert main([
+            "trace", "--n", "8", "--steps", "40", "--seed", "1",
+            "--capacity", "50",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "evicted (capacity 50" in out
+        # survivors cannot add up to the run totals, so the summary
+        # must neither claim a full trace nor cry reconciliation wolf
+        assert "0 events evicted" not in out
+        assert "reconciliation with run aggregates: skipped" in out
+
+    def test_trace_unbounded_reports_complete(self, capsys):
+        assert main(["trace", "--n", "8", "--steps", "40", "--seed", "1"]) == 0
+        assert "0 events evicted (complete trace)" in capsys.readouterr().out
+
     def test_profile(self, capsys):
         assert main(["profile", "--n", "8", "--steps", "40"]) == 0
         out = capsys.readouterr().out
         assert "trigger.check" in out and "balance.deal" in out
+        assert "% of total" in out
 
     def test_list_mentions_tools(self, capsys):
         main(["list"])
         out = capsys.readouterr().out
         assert "trace" in out and "profile" in out
+        assert "report" in out and "spans" in out
 
 
 class TestAsyncAndChaosCommands:
@@ -137,3 +155,87 @@ class TestAsyncAndChaosCommands:
     def test_list_mentions_chaos(self, capsys):
         main(["list"])
         assert "chaos" in capsys.readouterr().out
+
+
+class TestReportAndSpansCommands:
+    def test_report_clean_sync_run(self, capsys):
+        assert main(["report", "--n", "8", "--steps", "60", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "# Run report" in out
+        assert "**Verdict: all monitors OK.**" in out
+        assert "`theorem4_band`" in out
+        assert "## Balancing-operation spans" in out
+
+    def test_report_html_artifact(self, tmp_path, capsys):
+        dest = tmp_path / "run.html"
+        assert main([
+            "report", "--n", "8", "--steps", "60",
+            "--report-out", str(dest),
+        ]) == 0
+        html = dest.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<h2>Monitor verdicts</h2>" in html
+
+    @pytest.mark.tier2
+    def test_report_faulted_tells_the_breach_story(self, capsys):
+        assert main(["report", "--faulted", "--n", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "monitor breach" in out
+        assert "**theorem4_band**" in out
+        assert "recovered at" in out
+        assert "crash regime" in out
+
+    def test_spans_live_run(self, capsys):
+        assert main(["spans", "--n", "8", "--steps", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "outcomes" in out and "'completed'" in out
+        assert "worst span:" in out
+
+    def test_spans_from_trace_file(self, tmp_path, capsys):
+        from repro.observability import SpanRecorder, Tracer
+        from repro.params import LBParams
+        from repro.simulation.driver import run_simulation
+        from repro.workload import Section7Workload
+
+        tracer = Tracer()
+        run_simulation(
+            8, LBParams(f=1.3, delta=2, C=4),
+            Section7Workload(8, 60, layout_rng=0), 60, seed=0,
+            tracer=tracer, spans=SpanRecorder(tracer),
+        )
+        path = tmp_path / "t.ndjson"
+        tracer.to_ndjson(path)
+        assert main(["spans", "--trace-in", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"spans from {path}" in out
+        assert "worst span:" in out
+
+    def test_spans_from_spanless_trace_is_graceful(self, tmp_path, capsys):
+        path = tmp_path / "t.ndjson"
+        assert main([
+            "trace", "--n", "8", "--steps", "40", "--trace-out", str(path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["spans", "--trace-in", str(path)]) == 0
+        assert "(no spans recorded)" in capsys.readouterr().out
+
+    def test_compare_clean_exits_zero(self, capsys):
+        ref = "results/BENCH_engine.json"
+        assert main([
+            "report", "--compare", ref, ref, "--tolerance", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "no drift" in out
+
+    def test_compare_drift_exits_nonzero(self, tmp_path, capsys):
+        import json
+
+        ref = "results/BENCH_engine.json"
+        doc = json.loads(open(ref).read())
+        doc["runs"][0]["total_ops"] += 1
+        cand = tmp_path / "cand.json"
+        cand.write_text(json.dumps(doc))
+        with pytest.raises(SystemExit) as exc:
+            main(["report", "--compare", ref, str(cand)])
+        assert exc.value.code == 2
+        assert "DRIFT" in capsys.readouterr().out
