@@ -22,8 +22,10 @@ Observability tools (see docs/OBSERVABILITY.md)::
     repro profile [--n 64] [--steps 300] [--seed 0]
     repro profile --engine async [--horizon 60]
     repro bench [--sizes 64,256,1024,4096] [--baseline REV] [--out DIR]
+                [--backend native|multiprocessing] [--jobs N]
     repro chaos [--n 32] [--horizon 80] [--crash-frac 0.1]
                 [--message-loss 0.01] [--out DIR]
+                [--backend native|multiprocessing] [--jobs N]
     repro report [--engine sync|async] [--faulted] [--report-out run.html]
     repro report --compare REF.json CAND.json [--tolerance 0.75]
     repro spans [--engine sync|async] [--faulted] | repro spans --trace-in t.ndjson
@@ -37,7 +39,13 @@ schema-validated NDJSON.  ``--diff`` compares two recorded traces.
 (:mod:`repro.experiments.microbench`) and writes
 ``results/BENCH_engine.json``; ``--baseline REV`` additionally re-runs
 the engine of an older git revision on the same action streams and
-records the speedup (see docs/PERFORMANCE.md).
+records the speedup (see docs/PERFORMANCE.md).  Multi-run commands
+(``bench``, ``chaos``, and every experiment built on
+``quality_experiment``) execute through the pluggable batch backend
+selected by ``--backend``/``--jobs`` or ``REPRO_BACKEND`` /
+``REPRO_JOBS`` (see docs/BACKENDS.md); the chosen backend is printed
+in the ``bench``/``chaos`` output and recorded in their JSON
+artifacts.
 
 ``--engine async`` points ``trace`` / ``profile`` at the asynchronous
 engine (horizon in model time via ``--horizon``); ``repro chaos`` runs
@@ -174,6 +182,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--baseline", type=str, default=None, metavar="REV",
         help="git revision whose engine to re-run as the dense baseline "
         "(bench); e.g. HEAD~1",
+    )
+    # execution backend options (docs/BACKENDS.md)
+    p.add_argument(
+        "--backend", type=str, default=None, metavar="NAME",
+        help="batch-execution backend for multi-run commands "
+        "(native|multiprocessing|...; default: REPRO_BACKEND env, "
+        "else derived from jobs)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker count for parallel backends (default: REPRO_JOBS "
+        "env; 0 = all cores but one)",
     )
     return p
 
@@ -411,6 +431,8 @@ def _run_bench(args: argparse.Namespace) -> str:
         params=LBParams(f=args.f, delta=args.delta, C=args.cap),
         baseline_rev=args.baseline,
         engine_seed=args.seed or 7,
+        backend=args.backend,
+        jobs=args.jobs,
     )
     if args.baseline and doc.get("baseline", {}).get("error"):
         raise SystemExit(
@@ -583,7 +605,9 @@ def _run_chaos(args: argparse.Namespace) -> str:
     )
     if args.horizon is not None:
         kwargs["horizon"] = args.horizon
-    doc = resilience_experiment(ResilienceConfig(**kwargs))
+    doc = resilience_experiment(
+        ResilienceConfig(**kwargs), backend=args.backend, jobs=args.jobs
+    )
     out_dir = args.out or Path("results")
     path = out_dir / "resilience.json"
     write_resilience_json(path, doc)

@@ -48,6 +48,7 @@ JSON schema (``repro.bench_engine.v1``)
     {
       "schema": "repro.bench_engine.v1",
       "git_rev": "<short rev or 'unknown'>",
+      "backend": "native",            # batch backend that ran the grid
       "python": "3.11.7", "numpy": "1.26.2",
       "params": {"f": 1.3, "delta": 2, "C": 4,
                  "engine_seed": 7, "workload_seed": 123},
@@ -64,10 +65,15 @@ JSON schema (``repro.bench_engine.v1``)
                    "speedup": {"quiet@1024": 14.0, ...}}
     }
 
-``peak_rss_bytes`` is ``ru_maxrss`` — the *process* high-water mark,
-monotone over the report's ascending-``n`` run order.  The figure on
-the largest ``n`` therefore bounds every run; per-run deltas are not
-recoverable from it.
+``peak_rss_bytes`` is ``ru_maxrss`` — the high-water mark of the
+process that ran the point.  On the default ``native`` backend every
+point runs in this process, so the column is monotone over the
+report's ascending-``n`` run order and the largest-``n`` figure bounds
+every run; per-run deltas are not recoverable from it.  On a parallel
+backend (``REPRO_BACKEND=multiprocessing`` or ``backend=``, see
+``docs/BACKENDS.md``) each figure is its *worker's* high-water mark —
+tighter per point, but not monotone.  Counters and final state are
+backend-independent; only the wall-clock columns move.
 """
 
 from __future__ import annotations
@@ -278,6 +284,19 @@ def git_rev(repo_root: Path | None = None) -> str:
     return out.stdout.strip() if out.returncode == 0 else "unknown"
 
 
+def _bench_point(task: tuple) -> dict[str, Any]:
+    """One (n, profile) measurement (module-level so it pickles)."""
+    n, profile, params, engine_seed, workload_seed = task
+    return run_microbench(
+        n,
+        profile,
+        params=params,
+        engine_seed=engine_seed,
+        workload_seed=workload_seed,
+        profile_sections=True,
+    )
+
+
 def bench_report(
     ns: tuple[int, ...] = DEFAULT_NS,
     *,
@@ -287,15 +306,26 @@ def bench_report(
     baseline_max_n: int = 1024,
     engine_seed: int = 7,
     workload_seed: int = 123,
+    backend: str | None = None,
+    jobs: int | None = None,
 ) -> dict[str, Any]:
     """Full benchmark document (see module docstring for the schema).
 
-    Runs ascending ``n`` so the RSS high-water mark column reads as a
-    per-size upper bound.  With ``baseline_rev``, the dense engine of
-    that revision is re-run on identical action streams for every
-    (profile, n <= baseline_max_n) point; final loads must match the
-    current engine's bit-for-bit or the report raises.
+    The measurement grid runs through the selected batch backend
+    (``backend=``/``jobs=``, defaulting to ``REPRO_BACKEND`` /
+    ``REPRO_JOBS``) in ascending-``n`` order — on the default
+    ``native`` backend the RSS high-water mark column therefore reads
+    as a per-size upper bound; the backend that actually executed the
+    grid is recorded under ``"backend"``.  With ``baseline_rev``, the
+    dense engine of that revision is re-run on identical action streams
+    for every (profile, n <= baseline_max_n) point; final loads must
+    match the current engine's bit-for-bit or the report raises.  The
+    baseline grid always runs in-process: the reconstructed historical
+    module exists only in this interpreter and cannot cross a pickle
+    boundary.
     """
+    from repro.simulation.backends import get_client
+
     params = params or LBParams(f=1.3, delta=2, C=4)
     doc: dict[str, Any] = {
         "schema": "repro.bench_engine.v1",
@@ -312,19 +342,21 @@ def bench_report(
         "quiet_load": _QUIET_LOAD,
         "runs": [],
     }
+    tasks = [
+        (n, profile, params, engine_seed, workload_seed)
+        for n in sorted(ns)
+        for profile in profiles
+    ]
     finals: dict[tuple[str, int], list[int]] = {}
-    for n in sorted(ns):
-        for profile in profiles:
-            rec = run_microbench(
-                n,
-                profile,
-                params=params,
-                engine_seed=engine_seed,
-                workload_seed=workload_seed,
-                profile_sections=True,
-            )
-            finals[(profile, n)] = rec.pop("_l")
+    with get_client(backend, jobs=jobs) as client:
+        # chunksize=1: one (n, profile) point per dispatch, so a
+        # parallel backend interleaves sizes instead of striping them
+        for task, rec in zip(
+            tasks, client.map_ordered(_bench_point, tasks, chunksize=1)
+        ):
+            finals[(task[1], task[0])] = rec.pop("_l")
             doc["runs"].append(rec)
+        doc["backend"] = client.used_backend
 
     if baseline_rev:
         module = load_engine_module_at_rev(baseline_rev)
@@ -399,6 +431,7 @@ def render_report(doc: dict[str, Any]) -> str:
     )
     head = (
         f"engine microbench  rev={doc['git_rev']}  "
+        f"backend={doc.get('backend', 'native')}  "
         f"f={doc['params']['f']} delta={doc['params']['delta']} "
         f"C={doc['params']['C']}"
     )

@@ -166,22 +166,49 @@ def _run(cfg: ResilienceConfig, plan: FaultPlan | None) -> dict:
     }
 
 
-def resilience_experiment(cfg: ResilienceConfig | None = None) -> dict:
+def _run_task(args: tuple) -> dict:
+    """One (config, plan-or-None) run (module-level so it pickles)."""
+    cfg, plan = args
+    return _run(cfg, plan)
+
+
+def resilience_experiment(
+    cfg: ResilienceConfig | None = None,
+    *,
+    backend: str | None = None,
+    jobs: int | None = None,
+) -> dict:
     """Run the faulted scenario and its fault-free baseline.
 
-    Returns the ``results/resilience.json`` document (plain data, JSON
-    serialisable, schema-checked before return).
+    The two runs are independent tasks and execute through the selected
+    batch backend (``backend=``/``jobs=``, defaulting to
+    ``REPRO_BACKEND``/``REPRO_JOBS`` — see ``docs/BACKENDS.md``); both
+    are deterministic in ``(seed, plan)``, so the document is
+    bit-identical on every backend.  Returns the
+    ``results/resilience.json`` document (plain data, JSON
+    serialisable, schema-checked before return) with the executing
+    backend recorded under ``"backend"``.
     """
+    from repro.simulation.backends import get_client
+
     cfg = cfg or ResilienceConfig()
     plan = cfg.plan()
+    with get_client(backend, jobs=jobs) as client:
+        faulted, baseline = list(
+            client.map_ordered(
+                _run_task, [(cfg, plan), (cfg, None)], chunksize=1
+            )
+        )
+        used = client.used_backend
     doc = {
         "schema": "repro/resilience",
         "version": RESILIENCE_SCHEMA_VERSION,
+        "backend": used,
         "config": asdict(cfg),
         "band": theorem4_band(cfg.params()),
         "plan": plan.to_dict(),
-        "faulted": _run(cfg, plan),
-        "baseline": _run(cfg, None),
+        "faulted": faulted,
+        "baseline": baseline,
     }
     problems = validate_resilience(doc)
     if problems:  # pragma: no cover - internal consistency guard
@@ -217,7 +244,8 @@ def render_resilience(doc: dict) -> str:
     head = (
         f"crash burst: {cfg['crash_frac']:.0%} of n={cfg['n']} dark over "
         f"[{cfg['burst_at']:g}, {cfg['burst_at'] + cfg['burst_duration']:g}), "
-        f"message loss {cfg['message_loss']:g}, seed {cfg['seed']}\n"
+        f"message loss {cfg['message_loss']:g}, seed {cfg['seed']}, "
+        f"backend {doc.get('backend', 'native')}\n"
         f"Theorem-4 band f^2*delta/(delta+1-f) = {doc['band']:.3f}\n"
     )
     tail = (

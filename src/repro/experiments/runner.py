@@ -79,6 +79,7 @@ def quality_experiment(
     config: QualityConfig,
     *,
     jobs: int | None = None,
+    backend: str | None = None,
     collect_metrics: bool = False,
 ) -> QualityResult:
     """Run one section-7 configuration ``config.runs`` times.
@@ -86,8 +87,10 @@ def quality_experiment(
     Every run draws a fresh random phase layout (as in the paper: the
     workload-describing parameters are randomly chosen per experiment)
     and fresh balancing randomness, all derived from ``config.seed``
-    via structural RNG keys — results are identical for any ``jobs``
-    (set ``REPRO_JOBS`` or pass ``jobs`` to parallelise over runs).
+    via structural RNG keys — results are identical for any execution
+    backend and any ``jobs`` (set ``REPRO_BACKEND``/``REPRO_JOBS`` or
+    pass ``backend=``/``jobs=`` to fan runs out; see
+    ``docs/BACKENDS.md``).
 
     With ``collect_metrics=True`` every run also maintains a local
     :class:`~repro.observability.metrics.MetricsRegistry`; the worker
@@ -102,7 +105,7 @@ def quality_experiment(
     final_spreads: list[float] = []
     tasks = [(config, r, collect_metrics) for r in range(config.runs)]
     for loads, run_counters, run_ops, run_migrated, payload in parallel_map(
-        _one_quality_run, tasks, jobs=jobs
+        _one_quality_run, tasks, jobs=jobs, backend=backend
     ):
         collector.add(loads)
         counters.append(run_counters)

@@ -392,8 +392,10 @@ def compare_bench(
     b_runs = {(r["n"], r["profile"]): r for r in b.get("runs", ())}
     shared = sorted(set(a_runs) & set(b_runs))
     lines = [
-        f"bench compare: reference rev {a.get('git_rev', '?')} vs "
+        f"bench compare: reference rev {a.get('git_rev', '?')} "
+        f"(backend {a.get('backend', 'native')}) vs "
         f"candidate rev {b.get('git_rev', '?')} "
+        f"(backend {b.get('backend', 'native')}) "
         f"({len(shared)} shared runs, throughput tolerance {tolerance:g})",
     ]
     only_a = sorted(set(a_runs) - set(b_runs))

@@ -203,6 +203,13 @@ EVENT_SCHEMAS: dict[str, EventSchema] = {
             "A straggler window stretched an operation's latency.",
             time=float, initiator=int, factor=float,
         ),
+        # -- execution backends (repro.simulation.backends) -------------
+        _schema(
+            "backend_fallback",
+            "repro.simulation.backends",
+            "A parallel backend could not start and degraded to the native client.",
+            requested=str, chosen=str, reason=str,
+        ),
         # -- conformance monitors (repro.observability.monitors) --------
         _schema(
             "monitor_breach",

@@ -11,6 +11,15 @@ the same protocol) and records per-tick load snapshots.
 from repro.simulation.driver import Simulation, run_simulation
 from repro.simulation.result import RunResult
 from repro.simulation.eventqueue import Event, EventQueue
+from repro.simulation.backends import (
+    BatchClient,
+    DistributedClient,
+    MultiprocessingClient,
+    NativeClient,
+    available_backends,
+    get_client,
+    resolve_backend,
+)
 from repro.simulation.parallel import default_jobs, parallel_map
 from repro.simulation.serialize import (
     load_engine_state,
@@ -27,6 +36,13 @@ __all__ = [
     "RunResult",
     "Event",
     "EventQueue",
+    "BatchClient",
+    "NativeClient",
+    "MultiprocessingClient",
+    "DistributedClient",
+    "available_backends",
+    "get_client",
+    "resolve_backend",
     "default_jobs",
     "parallel_map",
     "save_result",

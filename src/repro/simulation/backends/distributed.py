@@ -1,0 +1,109 @@
+"""Distributed backend stub: the wire contract a real executor fills.
+
+No distributed executor ships with this repo (the container has no
+ipyparallel/ray and the CI has no cluster), but the *contract* a future
+one must honour is fixed here so it can drop in behind
+``REPRO_BACKEND=distributed`` without touching any harness code.
+
+Wire contract (version ``repro.batch.v1``)
+------------------------------------------
+A batch submission is a JSON envelope per task::
+
+    {
+      "protocol": "repro.batch.v1",
+      "batch_id": <int>,          # client-assigned, echoed in replies
+      "task_index": <int>,        # position within the batch
+      "fn": "<dotted.module:callable>",
+      "payload_b64": "<base64(pickle(task value))>"
+    }
+
+and each reply::
+
+    {
+      "protocol": "repro.batch.v1",
+      "batch_id": <int>, "task_index": <int>,
+      "ok": true,  "result_b64": "<base64(pickle(result))>"
+    }
+    # or, on task failure:
+    {
+      "protocol": "repro.batch.v1",
+      "batch_id": <int>, "task_index": <int>,
+      "ok": false, "error": "<repr of the exception>"
+    }
+
+Executor obligations (the same promises the local backends keep, see
+``docs/BACKENDS.md``):
+
+* **Pure tasks.**  ``fn`` must be importable on the worker from the
+  same repo revision; the task value carries its structural RNG key,
+  so re-executing a task (retry, speculative duplicate) is always
+  safe and bit-identical.
+* **Ordered gather.**  The client reassembles replies by
+  ``(batch_id, task_index)``; the executor may complete them in any
+  order but must deliver exactly one reply per task.
+* **Failure propagation.**  A task error is returned as data
+  (``ok: false``), not swallowed; the client re-raises it at the
+  task's position in the gather order, matching inline semantics.
+* **No shared state.**  Workers hold no cross-task mutable state;
+  observability payloads come back *inside* results (the
+  serialise-and-reduce convention of ``docs/ARCHITECTURE.md``).
+
+Until an executor implements this, every entry point raises
+:class:`BackendUnavailable` with a pointer here — selecting
+``distributed`` is a configuration error, not a silent no-op.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, TypeVar
+
+from repro.simulation.backends.base import (
+    BackendUnavailable,
+    BatchClient,
+    Capabilities,
+)
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["DistributedClient", "WIRE_PROTOCOL"]
+
+#: Version tag every envelope and reply must carry.
+WIRE_PROTOCOL = "repro.batch.v1"
+
+
+class DistributedClient(BatchClient):
+    """Placeholder client for a wire-contract executor (module docstring).
+
+    Instantiable (so the registry can describe it and tests can assert
+    its capabilities), but every execution path raises
+    :class:`BackendUnavailable`.
+    """
+
+    name = "distributed"
+    capabilities = Capabilities(parallel=True, remote=True, streaming=False)
+
+    def __init__(self, jobs: int | None = None, *, tracer=None) -> None:
+        super().__init__()
+        self.jobs = jobs
+
+    def _unavailable(self) -> BackendUnavailable:
+        return BackendUnavailable(
+            "the 'distributed' backend is a wire-contract stub: no "
+            "executor is wired in (see "
+            "repro/simulation/backends/distributed.py and "
+            "docs/BACKENDS.md for the drop-in contract); select "
+            "REPRO_BACKEND=native or multiprocessing"
+        )
+
+    def map_ordered(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        *,
+        chunksize: int | None = None,
+    ) -> Iterator[R]:
+        raise self._unavailable()
+
+    def submit(self, fn, batch):
+        raise self._unavailable()

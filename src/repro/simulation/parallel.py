@@ -1,64 +1,35 @@
-"""Parallel execution of independent simulation runs.
+"""Functional shim over the batch-execution backends.
 
 Every experiment in this repo is an average over many *independent*
-runs — embarrassingly parallel work.  This module provides a small
-process-pool map with the properties the experiment harness needs:
+runs — embarrassingly parallel work.  :func:`parallel_map` maps a task
+function over such runs through whichever backend the
+:mod:`repro.simulation.backends` registry selects (``REPRO_BACKEND`` /
+``REPRO_JOBS`` environment variables, or explicit ``backend=`` /
+``jobs=`` parameters), preserving three properties the experiment
+harness needs:
 
 * **determinism** — each task carries its own structural RNG key
   (:class:`repro.rng.RngFactory` named streams), so results are
-  bit-identical whether executed serially, in any order, or across any
-  number of workers;
-* **graceful degradation** — ``jobs=1`` (the default, also chosen when
-  the pool cannot start) runs inline with zero overhead, so library
-  users and tests never depend on multiprocessing semantics;
+  bit-identical on every backend (pinned by the cross-backend
+  equivalence suite, ``tests/simulation/test_backends.py``);
+* **graceful degradation** — the default is the in-process
+  ``native`` backend, and a ``multiprocessing`` pool that cannot start
+  falls back to it with one warning and a ``backend_fallback`` trace
+  event;
 * **bounded memory** — results stream back in submission order and are
   folded immediately (the collectors are streaming reducers).
 
-Select parallelism with the ``REPRO_JOBS`` environment variable or the
-``jobs`` parameter of :func:`repro.experiments.runner.quality_experiment`.
-
-Concurrency model
------------------
-Workers are separate *processes* (``ProcessPoolExecutor``), not
-threads: simulation runs are CPU-bound numpy work, and process
-isolation is also what guarantees determinism — no shared mutable
-state exists, so results cannot depend on scheduling.  Each task is a
-plain picklable value (config + run index); each worker derives its
-own RNG streams from the task's structural key, runs to completion and
-ships a plain-data result back.  The parent folds results in
-submission order, so any streaming reducer sees the same sequence as a
-serial run.
-
-How observability state crosses the process boundary
-----------------------------------------------------
-Live :class:`~repro.observability.metrics.MetricsRegistry`,
-:class:`~repro.observability.profiler.Profiler` and
-:class:`~repro.observability.tracer.Tracer` objects are per-process;
-they are never shared or locked.  The convention (used by
-:func:`repro.experiments.runner.quality_experiment` and documented in
-``docs/OBSERVABILITY.md``) is serialise-and-reduce:
-
-1. the worker function builds a *local* registry/profiler, runs with
-   it, and returns its ``as_dict()`` payload — nested dicts of
-   numbers, cheap to pickle — alongside the run's other results;
-2. the parent folds payloads into one registry with
-   ``MetricsRegistry.merge_dict`` (or
-   :func:`repro.observability.metrics.merge_worker_metrics`) /
-   ``Profiler.merge_dict`` as they stream back.
-
-Counters and histograms merge additively, so the reduction is
-order-independent and serial-vs-parallel equivalence holds for them
-exactly (the test suite asserts it).  Event *traces* are deliberately
-not merged: a trace is a per-run artifact (events interleaved across
-runs would be meaningless), so tracing multi-run experiments means one
-tracer — and one NDJSON file — per run.
+The backend contract — determinism, ordering, capability flags,
+failure semantics, the concurrency model, and how observability state
+crosses the process boundary (serialise-and-reduce) — is documented in
+``docs/BACKENDS.md``.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+from typing import Callable, Iterable, Iterator, TypeVar
+
+from repro.simulation.backends.registry import get_client, jobs_from_env
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -67,14 +38,9 @@ __all__ = ["default_jobs", "parallel_map"]
 
 
 def default_jobs() -> int:
-    """Worker count from ``REPRO_JOBS`` (default 1 = serial)."""
-    env = os.environ.get("REPRO_JOBS")
-    if not env:
-        return 1
-    jobs = int(env)
-    if jobs <= 0:
-        return max(1, (os.cpu_count() or 2) - 1)
-    return jobs
+    """Worker count from ``REPRO_JOBS`` (default 1 = serial, 0 = auto)."""
+    jobs = jobs_from_env()
+    return 1 if jobs is None else jobs
 
 
 def parallel_map(
@@ -83,36 +49,28 @@ def parallel_map(
     *,
     jobs: int | None = None,
     chunksize: int | None = None,
+    backend: str | None = None,
+    tracer=None,
 ) -> Iterator[R]:
-    """Map ``fn`` over ``items``, optionally across processes.
+    """Map ``fn`` over ``items`` on the selected execution backend.
 
     Results are yielded in input order regardless of completion order.
-    ``fn`` and every item must be picklable when ``jobs > 1`` (the
-    experiment harness passes plain configs + integer run indices).
+    ``fn`` and every item must be picklable on any parallel backend
+    (the experiment harness passes plain configs + integer run
+    indices).
 
-    ``items`` may be any iterable, including a lazy generator.  The
-    serial path (``jobs <= 1``) consumes it one element at a time —
+    ``items`` may be any iterable, including a lazy generator.
+    Streaming backends (``native``) consume it one element at a time —
     task descriptions are never materialised, so streaming reducers
-    over huge run sets stay O(1) in memory.  The pool path must
+    over huge run sets stay O(1) in memory.  Non-streaming backends
     materialise the iterable (chunked dispatch needs ``len``).
 
-    ``chunksize=None`` (the default) picks ``len(items) // (4 *
-    jobs)``, floored at 1: big enough to amortise pickling, small
-    enough that every worker gets several chunks for load balancing.
+    ``backend``/``jobs`` default to the ``REPRO_BACKEND`` /
+    ``REPRO_JOBS`` environment variables (selection rules in
+    ``docs/BACKENDS.md``); ``chunksize=None`` lets the backend pick
+    (the pool uses ``len(items) // (4 * jobs)``, floored at 1).
+    ``tracer`` receives the ``backend_fallback`` event if a parallel
+    backend degrades to inline execution.
     """
-    jobs = default_jobs() if jobs is None else jobs
-    if jobs <= 1:
-        for item in items:
-            yield fn(item)
-        return
-    seq: Sequence[T] = (
-        items if isinstance(items, Sequence) else list(items)
-    )
-    if len(seq) <= 1:
-        for item in seq:
-            yield fn(item)
-        return
-    if chunksize is None:
-        chunksize = max(1, len(seq) // (4 * jobs))
-    with ProcessPoolExecutor(max_workers=min(jobs, len(seq))) as pool:
-        yield from pool.map(fn, seq, chunksize=chunksize)
+    with get_client(backend, jobs=jobs, tracer=tracer) as client:
+        yield from client.map_ordered(fn, items, chunksize=chunksize)

@@ -1,7 +1,5 @@
 """Tests for the parallel run executor."""
 
-import os
-
 import numpy as np
 import pytest
 
@@ -10,6 +8,14 @@ from repro.simulation.parallel import default_jobs, parallel_map
 
 def square(x: int) -> int:
     return x * x
+
+
+@pytest.fixture(autouse=True)
+def _default_selection_rules(monkeypatch):
+    """These tests pin the *default* selection rules (jobs-derived
+    backend, serial laziness), so an outer ``REPRO_BACKEND`` override —
+    e.g. CI's multiprocessing smoke job — must not leak in."""
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
 
 
 class TestParallelMap:

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the repo's docs resolve.
+
+Scans the root markdown files and everything under ``docs/`` for
+inline links (``[text](target)``), skips external URLs and bare
+anchors, and verifies that each relative target exists — and, when the
+link carries a ``#fragment`` pointing at a markdown file, that the
+target file has a heading with that GitHub-style anchor.
+
+Stdlib only, no network.  Exit status 0 when every link resolves,
+1 otherwise (one line per broken link).  Run from anywhere:
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: inline markdown links; [text](target) with no nested parens
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def markdown_files() -> list[Path]:
+    files = sorted(ROOT.glob("*.md")) + sorted((ROOT / "docs").rglob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def github_anchor(heading: str) -> str:
+    """The anchor GitHub generates for a heading line."""
+    text = heading.strip().lower()
+    text = text.replace("`", "")                  # code spans vanish
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep text
+    text = re.sub(r"[^\w\- ]", "", text)          # punctuation vanishes
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_anchor(m.group(1)))
+    return anchors
+
+
+def links_of(path: Path) -> list[str]:
+    links: list[str] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        links.extend(LINK_RE.findall(line))
+    return links
+
+
+def main() -> int:
+    errors: list[str] = []
+    checked = 0
+    for md in markdown_files():
+        for target in links_of(md):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                continue
+            if target.startswith("#"):  # same-file anchor
+                checked += 1
+                if target[1:] not in anchors_of(md):
+                    errors.append(f"{md.relative_to(ROOT)}: broken anchor {target}")
+                continue
+            checked += 1
+            rel, _, fragment = target.partition("#")
+            dest = (md.parent / rel).resolve()
+            if not dest.exists():
+                errors.append(
+                    f"{md.relative_to(ROOT)}: broken link {target} "
+                    f"(no such file {rel})"
+                )
+                continue
+            if fragment and dest.suffix == ".md":
+                if fragment not in anchors_of(dest):
+                    errors.append(
+                        f"{md.relative_to(ROOT)}: broken anchor {target}"
+                    )
+    for err in errors:
+        print(err)
+    print(
+        f"check_links: {checked} relative links checked, "
+        f"{len(errors)} broken",
+        file=sys.stderr,
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
