@@ -28,7 +28,27 @@ Observability tools (see docs/OBSERVABILITY.md)::
                 [--backend native|multiprocessing] [--jobs N]
     repro report [--engine sync|async] [--faulted] [--report-out run.html]
     repro report --compare REF.json CAND.json [--tolerance 0.75]
+    repro report --service results/service.json [--report-out run.html]
     repro spans [--engine sync|async] [--faulted] | repro spans --trace-in t.ndjson
+
+Live service mode (see docs/SERVICE.md)::
+
+    repro serve [--smoke] [--chaos] [--traffic poisson|bursty|diurnal]
+                [--rate R] [--queue-cap K] [--n N] [--horizon H] [--seed S]
+                [--record trace.json | --replay trace.json] [--out DIR]
+
+``repro serve`` runs one service episode: open-loop traffic through
+the admission controller into bounded per-processor queues balanced by
+the asynchronous engine, with the degradation ladder
+(healthy → backpressure → shedding → recovering) re-tuning admission
+and the balancing trigger as backpressure builds.  ``--smoke`` selects
+the tuned CI scenario (a flash crowd over the chaos window);
+``--chaos`` composes the crash-burst fault plan underneath it.  The
+run writes schema-validated ``results/service.json`` (SLO verdicts,
+degradation-state timeline, worst sojourns); ``--record`` saves the
+offered arrival stream, ``--replay`` re-runs a saved one bit-exactly.
+``repro report --service`` renders a saved service document as the
+report's service-run section.
 
 ``repro trace`` records one deterministic §7 run with the structured
 event tracer on, prints a summary, cross-checks the trace against the
@@ -101,11 +121,13 @@ def _build_parser() -> argparse.ArgumentParser:
             "profile",
             "bench",
             "chaos",
+            "serve",
             "report",
             "spans",
         ],
-        help="artifact to regenerate, or an observability tool "
-        "(trace/profile/bench/chaos/report/spans)",
+        help="artifact to regenerate, an observability tool "
+        "(trace/profile/bench/chaos/report/spans), or the live service "
+        "mode (serve)",
     )
     p.add_argument("--runs", type=int, default=None, help="runs per config (paper: 100)")
     p.add_argument("--trials", type=int, default=20_000, help="MC trials (fig6/theorem12)")
@@ -172,6 +194,44 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--message-loss", type=float, default=0.01,
         help="per-message loss probability (chaos)",
+    )
+    # serve options (docs/SERVICE.md)
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="run the tuned CI smoke scenario: a flash crowd over the "
+        "chaos window (serve)",
+    )
+    p.add_argument(
+        "--chaos", action="store_true",
+        help="compose the crash-burst fault plan under the service run "
+        "(serve)",
+    )
+    p.add_argument(
+        "--traffic", choices=["poisson", "bursty", "diurnal"], default=None,
+        help="open-loop traffic profile (serve; default poisson, "
+        "bursty with --smoke)",
+    )
+    p.add_argument(
+        "--rate", type=float, default=None,
+        help="network-wide arrival rate per time unit (serve)",
+    )
+    p.add_argument(
+        "--queue-cap", type=int, default=None,
+        help="bounded per-processor queue capacity (serve)",
+    )
+    p.add_argument(
+        "--record", type=Path, default=None,
+        help="write the offered arrival stream to this JSON file (serve)",
+    )
+    p.add_argument(
+        "--replay", type=Path, default=None,
+        help="replay a recorded arrival stream instead of generating "
+        "traffic (serve)",
+    )
+    p.add_argument(
+        "--service", type=Path, default=None, metavar="SERVICE_JSON",
+        help="render a saved service.json as the report's service-run "
+        "section (report)",
     )
     # bench options
     p.add_argument(
@@ -268,6 +328,8 @@ def _run_one(cmd: str, args: argparse.Namespace) -> str:
         return _run_bench(args)
     if cmd == "chaos":
         return _run_chaos(args)
+    if cmd == "serve":
+        return _run_serve(args)
     if cmd == "report":
         return _run_report(args)
     if cmd == "spans":
@@ -410,6 +472,22 @@ def _run_profile(args: argparse.Namespace) -> str:
     return f"{header}\n\n{table}"
 
 
+def _check_backend(args: argparse.Namespace) -> None:
+    """Fail fast (exit 2) on an unknown ``--backend`` name.
+
+    The registry raises ValueError with the known-backend listing; a
+    raw traceback from deep inside a worker pool is no way to report a
+    typo on the command line.
+    """
+    from repro.simulation.backends.registry import resolve_backend
+
+    try:
+        resolve_backend(args.backend, args.jobs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+
+
 def _run_bench(args: argparse.Namespace) -> str:
     from repro.experiments.microbench import (
         bench_report,
@@ -418,6 +496,7 @@ def _run_bench(args: argparse.Namespace) -> str:
     )
     from repro.params import LBParams
 
+    _check_backend(args)
     try:
         ns = tuple(int(x) for x in args.sizes.split(",") if x)
     except ValueError as exc:
@@ -541,6 +620,33 @@ def _run_report(args: argparse.Namespace) -> str:
             raise SystemExit(2)
         return text
 
+    if args.service:
+        import json
+
+        from repro.service import service_markdown_section, validate_service
+
+        doc = json.loads(args.service.read_text())
+        problems = validate_service(doc)
+        if problems:
+            raise SystemExit(
+                f"error: {args.service} is not a valid service document:\n  "
+                + "\n  ".join(problems)
+            )
+        md = "\n".join(
+            [f"# service report — {args.service}", ""]
+            + service_markdown_section(doc)
+        )
+        if args.report_out:
+            from repro.observability import to_html
+
+            args.report_out.parent.mkdir(parents=True, exist_ok=True)
+            if args.report_out.suffix.lower() in (".html", ".htm"):
+                args.report_out.write_text(to_html(md, title="service report"))
+            else:
+                args.report_out.write_text(md)
+            return md + f"\n\nwrote {args.report_out}"
+        return md
+
     (title, meta, tracer, suite, spans, profiler, times, loads,
      crash_bounds) = _observed_run(args)
     md = build_report(
@@ -594,6 +700,7 @@ def _run_chaos(args: argparse.Namespace) -> str:
         write_resilience_json,
     )
 
+    _check_backend(args)
     kwargs = dict(
         n=args.n,
         crash_frac=args.crash_frac,
@@ -612,6 +719,63 @@ def _run_chaos(args: argparse.Namespace) -> str:
     path = out_dir / "resilience.json"
     write_resilience_json(path, doc)
     return render_resilience(doc) + f"\n\nwrote {path}"
+
+
+def _run_serve(args: argparse.Namespace) -> str:
+    import dataclasses
+
+    from repro.service import (
+        ServiceConfig,
+        render_service,
+        service_run,
+        validate_service,
+        write_service_json,
+    )
+
+    if args.record and args.replay:
+        raise SystemExit("error: --record and --replay are mutually exclusive")
+
+    cfg = ServiceConfig.smoke(seed=args.seed) if args.smoke else ServiceConfig(
+        seed=args.seed
+    )
+    overrides: dict = {}
+    if args.traffic is not None:
+        overrides["traffic"] = args.traffic
+    if args.rate is not None:
+        overrides["rate"] = args.rate
+    if args.queue_cap is not None:
+        overrides["queue_cap"] = args.queue_cap
+    if args.n != 16:  # parser default; only override when the user asked
+        overrides["n"] = args.n
+    if args.horizon is not None:
+        overrides["horizon"] = args.horizon
+    if overrides:
+        cfg = dataclasses.replace(cfg, **overrides)
+
+    replay = None
+    if args.replay:
+        from repro.workload.trace import ArrivalTrace
+
+        replay = ArrivalTrace.from_json(args.replay)
+
+    run = service_run(cfg, chaos=args.chaos, replay=replay)
+    problems = validate_service(run.doc)
+    if problems:  # pragma: no cover - builder/validator disagreement
+        raise SystemExit(
+            "error: generated service document failed validation:\n  "
+            + "\n  ".join(problems)
+        )
+    out_dir = args.out or Path("results")
+    path = write_service_json(out_dir / "service.json", run.doc)
+    lines = [render_service(run.doc), "", f"wrote {path} (schema valid)"]
+    if args.record:
+        run.trace.to_json(args.record)
+        lines.append(
+            f"recorded {len(run.trace)} offered arrivals to {args.record}"
+        )
+    if args.replay:
+        lines.append(f"replayed {len(replay)} arrivals from {args.replay}")
+    return "\n".join(lines)
 
 
 _ALL = [
@@ -643,6 +807,10 @@ def main(argv: list[str] | None = None) -> int:
         )
         print("performance tools: bench, report --compare (docs/PERFORMANCE.md)")
         print("resilience tools: chaos, report --faulted (docs/RESILIENCE.md)")
+        print(
+            "service mode: serve [--smoke --chaos], report --service "
+            "(docs/SERVICE.md)"
+        )
         return 0
     commands = _ALL if args.command == "all" else [args.command]
     for cmd in commands:

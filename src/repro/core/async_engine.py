@@ -151,7 +151,10 @@ class TableRates:
         self.n = g_table.shape[1]
 
     def rates(self, time: float) -> tuple[np.ndarray, np.ndarray]:
-        idx = min(int(time), self.g_table.shape[0] - 1)
+        # clamp both ends: times before the first entry read row 0 (a
+        # negative index would silently wrap to the table's tail),
+        # times beyond the last entry hold the final row
+        idx = min(max(int(time), 0), self.g_table.shape[0] - 1)
         return self.g_table[idx], self.c_table[idx]
 
 
@@ -226,6 +229,9 @@ _KIND_NAMES = {
     _TIMEOUT: "timeout",
     _FAULT: "fault",
 }
+
+#: first event-kind id available to subclasses (see ``_dispatch_extra``)
+FIRST_EXTRA_KIND = _FAULT + 1
 
 
 class AsyncEngine:
@@ -355,6 +361,7 @@ class AsyncEngine:
                 snaps.append(self.l.copy())
                 if self.monitors is not None:
                     self.monitors.observe(next_snap, snaps[-1])
+                self._on_snapshot(next_snap, snaps[-1])
                 next_snap += self.snapshot_dt
             self.time = ev.time
             kind = ev.payload[0]
@@ -362,7 +369,7 @@ class AsyncEngine:
                 self.tracer.emit(
                     "async_deliver",
                     time=float(ev.time),
-                    kind=_KIND_NAMES[kind],
+                    kind=self._kind_name(kind),
                     proc=int(ev.payload[1]),
                 )
             if kind == _ACTION:
@@ -385,13 +392,16 @@ class AsyncEngine:
                     self._do_retry(ev.payload[1])
             elif kind == _TIMEOUT:
                 self._reclaim(ev.payload[1], ev.payload[2])
-            else:
+            elif kind == _FAULT:
                 self._fault_boundary(ev.payload[1], ev.payload[2])
+            else:
+                self._dispatch_extra(kind, ev.payload)
         while next_snap <= horizon:
             snap_times.append(next_snap)
             snaps.append(self.l.copy())
             if self.monitors is not None:
                 self.monitors.observe(next_snap, snaps[-1])
+            self._on_snapshot(next_snap, snaps[-1])
             next_snap += self.snapshot_dt
 
         return AsyncResult(
@@ -418,6 +428,52 @@ class AsyncEngine:
             **self.faults.counters(),
         }
 
+    # -- service-layer extension points ----------------------------------
+    #
+    # The live-service mode (repro.service.engine.ServiceEngine,
+    # docs/SERVICE.md) subclasses this engine and feeds it open-loop
+    # traffic.  These hooks are its attachment points; all are no-ops
+    # here and none touches the RNG, so a base-engine run is
+    # bit-identical with or without them.
+
+    def _kind_name(self, kind: int) -> str:
+        """Display name of an event kind (``async_deliver`` tracing)."""
+        return _KIND_NAMES[kind]
+
+    def _dispatch_extra(self, kind: int, payload: tuple) -> None:
+        """Handle an event kind >= :data:`FIRST_EXTRA_KIND`.
+
+        Subclasses that push custom events (e.g. task arrivals) override
+        this; the base engine schedules none, so reaching it is a bug.
+        """
+        raise ValueError(f"unknown event kind {kind!r}")  # pragma: no cover
+
+    def _on_generate(self, i: int) -> None:
+        """A workload action generated one packet on ``i``."""
+
+    def _on_consume(self, i: int) -> None:
+        """A workload action consumed one packet on ``i``."""
+
+    def _on_snapshot(self, t: float, loads: np.ndarray) -> None:
+        """A periodic load snapshot was taken (after monitors ran)."""
+
+    def _post_balance(
+        self, alive_idx: np.ndarray, before: np.ndarray, after: np.ndarray
+    ) -> None:
+        """Loads were redistributed among ``alive_idx`` (before→after)."""
+
+    def set_trigger_factor(self, f: float) -> None:
+        """Re-arm the balancing trigger with a new factor ``f``.
+
+        The degradation ladder uses this to *widen* the trigger (pull
+        ``f`` toward 1, making balancing more eager) while the service
+        sheds load, and to restore the configured factor on recovery.
+        Existing trigger references (``l_old``) are kept.
+        """
+        if f <= 1.0:
+            raise ValueError(f"trigger factor must be > 1, got {f}")
+        self.trigger = FactorTrigger(f)
+
     # -- internals -------------------------------------------------------
 
     def _schedule_action(self, i: int) -> None:
@@ -435,8 +491,10 @@ class AsyncEngine:
         u = self.rng.random()
         if u < g[i]:
             self.l[i] += 1
+            self._on_generate(i)
         elif u < g[i] + c[i] and self.l[i] > 0:
             self.l[i] -= 1
+            self._on_consume(i)
         self._maybe_initiate(i)
         self._schedule_action(i)
 
@@ -607,6 +665,7 @@ class AsyncEngine:
             total, len(alive), start=int(self.rng.integers(len(alive)))
         )
         self.l[alive_idx] = after
+        self._post_balance(alive_idx, before, after)
         migrated = int(np.maximum(after - before, 0).sum())
         self.packets_migrated += migrated
         self.l_old[alive_idx] = self.l[alive_idx]

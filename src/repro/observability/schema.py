@@ -224,6 +224,19 @@ EVENT_SCHEMAS: dict[str, EventSchema] = {
             "A breached monitor statistic re-entered its band.",
             t=float, monitor=str, value=float, bound=float, ticks_out=int,
         ),
+        # -- live service mode (repro.service) --------------------------
+        _schema(
+            "service_state",
+            "repro.service.degradation",
+            "The degradation ladder changed state (healthy/backpressure/shedding/recovering).",
+            time=float, prev=str, state=str, reason=str,
+        ),
+        _schema(
+            "service_shed",
+            "repro.service.engine",
+            "Arrivals shed since the last snapshot, counted by admission gate.",
+            time=float, brownout=int, bucket=int, depth=int,
+        ),
         # -- balancing-operation spans (repro.observability.spans) ------
         _schema(
             "span_start",

@@ -1,0 +1,57 @@
+"""Live service mode: ``repro serve`` (see ``docs/SERVICE.md``).
+
+The packages below this one simulate *runs*; this package operates a
+*service* — open-loop traffic, admission control, bounded queues with
+backpressure, a graceful-degradation ladder, and SLO tracking — on top
+of the asynchronous engine's extension hooks.
+"""
+
+from repro.service.admission import SHED_REASONS, AdmissionController, TokenBucket
+from repro.service.degradation import STATES, DegradationLadder, LadderConfig
+from repro.service.engine import (
+    ServiceConfig,
+    ServiceEngine,
+    ServiceRun,
+    service_run,
+)
+from repro.service.queues import TaskQueues
+from repro.service.slo import (
+    SLOTracker,
+    render_service,
+    service_markdown_section,
+    validate_service,
+    write_service_json,
+)
+from repro.service.traffic import (
+    Arrival,
+    BurstyTraffic,
+    DiurnalTraffic,
+    PoissonTraffic,
+    ReplayTraffic,
+    make_traffic,
+)
+
+__all__ = [
+    "SHED_REASONS",
+    "AdmissionController",
+    "TokenBucket",
+    "STATES",
+    "DegradationLadder",
+    "LadderConfig",
+    "ServiceConfig",
+    "ServiceEngine",
+    "ServiceRun",
+    "service_run",
+    "TaskQueues",
+    "SLOTracker",
+    "render_service",
+    "service_markdown_section",
+    "validate_service",
+    "write_service_json",
+    "Arrival",
+    "BurstyTraffic",
+    "DiurnalTraffic",
+    "PoissonTraffic",
+    "ReplayTraffic",
+    "make_traffic",
+]

@@ -1,0 +1,207 @@
+"""The graceful-degradation ladder: ``healthy → backpressure → shedding
+→ recovering → healthy``.
+
+A live service cannot promise the Theorem-4 band unconditionally — a
+flash crowd during a crash burst *will* overload it.  What it can
+promise is to fail in a controlled order and to climb back.  The
+ladder is a small deterministic state machine evaluated at every
+engine snapshot from two backpressure signals:
+
+* ``hot`` — the fraction of processors whose queue depth exceeds the
+  high watermark (:meth:`~repro.service.queues.TaskQueues.hot_fraction`);
+* ``depth_sheds`` — arrivals rejected at full queues since the last
+  evaluation (the hard backpressure signal: bounded queues pushed
+  back).
+
+States and their actions (applied on entry; see ``docs/SERVICE.md``):
+
+``healthy``
+    Full admission rate, configured trigger factor, no brown-out.
+``backpressure``
+    Admission refill scaled by ``bp_scale`` — the soft push-back.
+``shedding``
+    Admission scaled by ``shed_scale``, the brown-out sheds
+    non-critical arrivals, and the balancing trigger is *widened*
+    (factor pulled toward 1) so the engine redistributes backlog more
+    eagerly.
+``recovering``
+    Brown-out off, admission still tightened (``recover_scale``),
+    trigger still widened; after ``hold`` consecutive calm snapshots
+    the service is ``healthy`` again and every knob is restored.
+
+Transitions are emitted as schema-registered ``service_state`` trace
+events and recorded in :attr:`DegradationLadder.transitions` — the
+degradation-state timeline of ``results/service.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LadderConfig", "DegradationLadder", "STATES"]
+
+HEALTHY = "healthy"
+BACKPRESSURE = "backpressure"
+SHEDDING = "shedding"
+RECOVERING = "recovering"
+
+STATES = (HEALTHY, BACKPRESSURE, SHEDDING, RECOVERING)
+
+
+@dataclass(frozen=True, slots=True)
+class LadderConfig:
+    """Thresholds and knob settings of the degradation ladder.
+
+    Watermark fractions are relative to the queue cap; ``enter_*`` /
+    ``exit_*`` are fractions of processors over the high watermark.
+    ``exit`` levels sit below ``enter`` levels on purpose (hysteresis —
+    the ladder must not flap on a noisy boundary).
+    """
+
+    high_watermark: float = 0.5     # queue depth fraction counting as hot
+    enter_bp: float = 0.125         # hot fraction: healthy -> backpressure
+    enter_shed: float = 0.3         # hot fraction: -> shedding
+    exit_shed: float = 0.15         # hot fraction to leave shedding
+    exit_bp: float = 0.05           # hot fraction counting as calm
+    hold: int = 8                   # calm snapshots before healthy again
+    bp_scale: float = 0.7           # admission refill scale in backpressure
+    shed_scale: float = 0.4         # admission refill scale in shedding
+    recover_scale: float = 0.7      # admission refill scale in recovering
+    trigger_widen: float = 0.5      # widened f = 1 + (f-1) * trigger_widen
+
+    def __post_init__(self) -> None:
+        if not 0 < self.high_watermark <= 1:
+            raise ValueError(
+                f"high_watermark must be in (0, 1], got {self.high_watermark}"
+            )
+        if not (0 <= self.exit_bp <= self.exit_shed
+                <= self.enter_shed <= 1):
+            raise ValueError(
+                "need 0 <= exit_bp <= exit_shed <= enter_shed <= 1, got "
+                f"{self.exit_bp} / {self.exit_shed} / {self.enter_shed}"
+            )
+        if not 0 <= self.enter_bp <= self.enter_shed:
+            raise ValueError(
+                f"need enter_bp <= enter_shed, got {self.enter_bp} > "
+                f"{self.enter_shed}"
+            )
+        if self.hold < 1:
+            raise ValueError(f"hold must be >= 1, got {self.hold}")
+        for name in ("bp_scale", "shed_scale", "recover_scale"):
+            v = getattr(self, name)
+            if not 0 < v <= 1:
+                raise ValueError(f"{name} must be in (0, 1], got {v}")
+        if not 0 < self.trigger_widen <= 1:
+            raise ValueError(
+                f"trigger_widen must be in (0, 1], got {self.trigger_widen}"
+            )
+
+
+class DegradationLadder:
+    """Evaluate the ladder at snapshots; apply knob changes on entry."""
+
+    def __init__(
+        self,
+        cfg: LadderConfig,
+        *,
+        admission,
+        engine,
+        tracer=None,
+    ) -> None:
+        self.cfg = cfg
+        self.admission = admission
+        self.engine = engine
+        self.tracer = tracer
+        self.state = HEALTHY
+        self.transitions: list[dict] = []
+        self._f0 = float(engine.params.f)
+        self._calm = 0
+
+    @property
+    def widened_f(self) -> float:
+        return 1.0 + (self._f0 - 1.0) * self.cfg.trigger_widen
+
+    # -- evaluation -------------------------------------------------------
+
+    def evaluate(self, t: float, hot: float, depth_sheds: int) -> None:
+        """One snapshot's worth of ladder logic."""
+        cfg = self.cfg
+        pressed = hot >= cfg.enter_shed or depth_sheds > 0
+        if self.state == HEALTHY:
+            if pressed:
+                self._to(SHEDDING, t, self._why(hot, depth_sheds))
+            elif hot >= cfg.enter_bp:
+                self._to(BACKPRESSURE, t, f"hot={hot:.2f}")
+        elif self.state == BACKPRESSURE:
+            if pressed:
+                self._to(SHEDDING, t, self._why(hot, depth_sheds))
+            elif hot <= cfg.exit_bp:
+                self._to(RECOVERING, t, f"hot={hot:.2f}")
+        elif self.state == SHEDDING:
+            if hot <= cfg.exit_shed and depth_sheds == 0:
+                self._to(RECOVERING, t, f"hot={hot:.2f}")
+        else:  # RECOVERING
+            if pressed:
+                self._to(SHEDDING, t, self._why(hot, depth_sheds))
+            elif hot >= cfg.enter_bp:
+                self._to(BACKPRESSURE, t, f"hot={hot:.2f}")
+            else:
+                calm = hot <= cfg.exit_bp and depth_sheds == 0
+                self._calm = self._calm + 1 if calm else 0
+                if self._calm >= cfg.hold:
+                    self._to(HEALTHY, t, f"calm for {self._calm} snapshots")
+
+    @staticmethod
+    def _why(hot: float, depth_sheds: int) -> str:
+        if depth_sheds > 0:
+            return f"{depth_sheds} depth shed(s), hot={hot:.2f}"
+        return f"hot={hot:.2f}"
+
+    # -- transition machinery ---------------------------------------------
+
+    def _to(self, state: str, t: float, reason: str) -> None:
+        prev = self.state
+        self.state = state
+        self._calm = 0
+        self._apply(state)
+        self.transitions.append(
+            {"t": float(t), "prev": prev, "state": state, "reason": reason}
+        )
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                "service_state",
+                time=float(t), prev=prev, state=state, reason=reason,
+            )
+
+    def _apply(self, state: str) -> None:
+        cfg = self.cfg
+        if state == HEALTHY:
+            self.admission.bucket.set_scale(1.0)
+            self.admission.set_brownout(False)
+            self.engine.set_trigger_factor(self._f0)
+        elif state == BACKPRESSURE:
+            self.admission.bucket.set_scale(cfg.bp_scale)
+            self.admission.set_brownout(False)
+        elif state == SHEDDING:
+            self.admission.bucket.set_scale(cfg.shed_scale)
+            self.admission.set_brownout(True)
+            self.engine.set_trigger_factor(self.widened_f)
+        else:  # RECOVERING: keep the widened trigger while draining
+            self.admission.bucket.set_scale(cfg.recover_scale)
+            self.admission.set_brownout(False)
+
+    # -- reporting --------------------------------------------------------
+
+    def timeline(self) -> list[dict]:
+        """The transition log (the ``service.json`` timeline section)."""
+        return list(self.transitions)
+
+    def time_in_state(self, t_end: float) -> dict[str, float]:
+        """Total model time spent in each state up to ``t_end``."""
+        out = dict.fromkeys(STATES, 0.0)
+        t_prev, state = 0.0, HEALTHY
+        for tr in self.transitions:
+            out[state] += tr["t"] - t_prev
+            t_prev, state = tr["t"], tr["state"]
+        out[state] += max(t_end - t_prev, 0.0)
+        return out

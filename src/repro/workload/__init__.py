@@ -25,7 +25,7 @@ from repro.workload.patterns import (
     ProducerConsumerSplit,
     UniformRandom,
 )
-from repro.workload.trace import RecordedWorkload, TraceRecorder
+from repro.workload.trace import ArrivalTrace, RecordedWorkload, TraceRecorder
 from repro.workload.markov import MarkovModulated
 
 __all__ = [
@@ -41,5 +41,6 @@ __all__ = [
     "BurstyHotspot",
     "AdversarialFlipFlop",
     "TraceRecorder",
+    "ArrivalTrace",
     "RecordedWorkload",
 ]

@@ -11,15 +11,25 @@ is only emitted when load is available), and different balancers yield
 different load vectors.  Replay therefore re-checks availability — a
 recorded ``-1`` on a now-empty processor degrades to idle, exactly as
 the live models behave.
+
+The same convention extends to the live service mode's open-loop
+arrivals: an :class:`ArrivalTrace` stores the *offered* request stream
+of a ``repro serve`` run (pre-admission, so replay re-applies the exact
+front-door pressure) and feeds
+:class:`~repro.service.traffic.ReplayTraffic` via
+``repro serve --replay`` (see ``docs/SERVICE.md``).
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import numpy as np
 
 from repro.workload.base import WorkloadModel
 
-__all__ = ["TraceRecorder", "RecordedWorkload"]
+__all__ = ["TraceRecorder", "RecordedWorkload", "ArrivalTrace"]
 
 
 class TraceRecorder:
@@ -66,3 +76,94 @@ class RecordedWorkload:
         a = self.matrix[t].copy()
         a[(a == -1) & (loads <= 0)] = 0
         return a
+
+
+class ArrivalTrace:
+    """A recorded open-loop arrival stream: ``(time, a, b, critical)``.
+
+    ``a``/``b`` are the power-of-two-choices routing candidates drawn
+    at generation time (the *comparison* against live queue depths
+    happens at replay, the candidates themselves are frozen), so a
+    replayed service run offers bit-identical traffic.  Serialises to
+    a small JSON document (``repro serve --record`` / ``--replay``).
+    """
+
+    SCHEMA = "repro/arrival-trace"
+
+    def __init__(
+        self,
+        n: int,
+        times: np.ndarray | list[float],
+        targets_a: np.ndarray | list[int],
+        targets_b: np.ndarray | list[int],
+        critical: np.ndarray | list[bool],
+    ) -> None:
+        self.n = int(n)
+        self.times = np.asarray(times, dtype=float)
+        self.targets_a = np.asarray(targets_a, dtype=np.int64)
+        self.targets_b = np.asarray(targets_b, dtype=np.int64)
+        self.critical = np.asarray(critical, dtype=bool)
+        shapes = {
+            arr.shape
+            for arr in (self.times, self.targets_a, self.targets_b,
+                        self.critical)
+        }
+        if len(shapes) != 1 or self.times.ndim != 1:
+            raise ValueError("arrival columns must be equal-length 1-D arrays")
+        if self.times.size and (np.diff(self.times) < 0).any():
+            raise ValueError("arrival times must be non-decreasing")
+        for name, col in (("a", self.targets_a), ("b", self.targets_b)):
+            if col.size and not ((col >= 0) & (col < self.n)).all():
+                raise ValueError(
+                    f"target column {name!r} names processors outside n={self.n}"
+                )
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    def rows(self):
+        """Iterate ``(time, a, b, critical)`` tuples in arrival order."""
+        for k in range(len(self)):
+            yield (
+                float(self.times[k]),
+                int(self.targets_a[k]),
+                int(self.targets_b[k]),
+                bool(self.critical[k]),
+            )
+
+    @classmethod
+    def from_arrivals(cls, n: int, arrivals) -> "ArrivalTrace":
+        """Freeze a list of :class:`~repro.service.traffic.Arrival`."""
+        return cls(
+            n,
+            [a.time for a in arrivals],
+            [a.targets[0] for a in arrivals],
+            [a.targets[1] for a in arrivals],
+            [a.critical for a in arrivals],
+        )
+
+    def to_json(self, path: str | Path) -> None:
+        doc = {
+            "schema": self.SCHEMA,
+            "n": self.n,
+            "times": [float(t) for t in self.times],
+            "targets_a": [int(v) for v in self.targets_a],
+            "targets_b": [int(v) for v in self.targets_b],
+            "critical": [bool(v) for v in self.critical],
+        }
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(doc) + "\n")
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "ArrivalTrace":
+        doc = json.loads(Path(path).read_text())
+        if doc.get("schema") != cls.SCHEMA:
+            raise ValueError(
+                f"{path}: expected schema {cls.SCHEMA!r}, "
+                f"got {doc.get('schema')!r}"
+            )
+        return cls(
+            doc["n"], doc["times"], doc["targets_a"], doc["targets_b"],
+            doc["critical"],
+        )

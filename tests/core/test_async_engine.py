@@ -34,6 +34,31 @@ class TestRateProviders:
         assert r.rates(1.7)[0][0] == 0.9
         assert r.rates(99.0)[0][0] == 0.9  # clamped to last row
 
+    def test_table_rates_before_first_entry(self):
+        # negative times (possible with latency arithmetic) must read
+        # row 0, not wrap to the table's tail via a negative index
+        g = np.array([[0.1], [0.9]])
+        c = np.array([[0.2], [0.3]])
+        r = TableRates(g, c)
+        assert r.rates(-0.5)[0][0] == 0.1
+        assert r.rates(-100.0)[0][0] == 0.1
+        assert r.rates(-100.0)[1][0] == 0.2
+
+    def test_table_rates_after_last_entry_holds_final_row(self):
+        g = np.array([[0.1], [0.5], [0.9]])
+        c = np.array([[0.2], [0.3], [0.4]])
+        r = TableRates(g, c)
+        assert r.rates(2.0)[0][0] == 0.9
+        assert r.rates(2.999)[0][0] == 0.9
+        assert r.rates(1e9)[1][0] == 0.4
+
+    def test_table_rates_single_row(self):
+        r = TableRates(np.array([[0.4, 0.6]]), np.array([[0.1, 0.2]]))
+        for t in (-3.0, 0.0, 0.5, 7.0):
+            g, c = r.rates(t)
+            assert g.tolist() == [0.4, 0.6]
+            assert c.tolist() == [0.1, 0.2]
+
     def test_table_validation(self):
         with pytest.raises(ValueError):
             TableRates(np.zeros((2, 3)), np.zeros((3, 2)))

@@ -1,0 +1,91 @@
+"""Property tests for :class:`repro.core.async_engine.RetryPolicy`.
+
+The backoff schedule has three load-bearing properties the engine's
+liveness depends on: delays are bounded (``base`` to
+``base * (1 + jitter)``), successive attempts never shrink the base
+(monotone caps), and a delay is a pure function of ``(policy, attempt,
+rng state)`` so seeded runs replay exactly.
+"""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.async_engine import RetryPolicy
+
+policies = st.builds(
+    RetryPolicy,
+    max_retries=st.integers(min_value=0, max_value=10),
+    backoff=st.floats(
+        min_value=1e-3, max_value=100.0,
+        allow_nan=False, allow_infinity=False,
+    ),
+    jitter=st.floats(
+        min_value=0.0, max_value=4.0,
+        allow_nan=False, allow_infinity=False,
+    ),
+)
+
+attempts = st.integers(min_value=1, max_value=20)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestDelayBounds:
+    @given(policy=policies, attempt=attempts, seed=seeds)
+    def test_delay_within_jitter_envelope(self, policy, attempt, seed):
+        rng = np.random.default_rng(seed)
+        base = policy.backoff * 2.0 ** (attempt - 1)
+        delay = policy.delay(attempt, rng)
+        assert base <= delay <= base * (1.0 + policy.jitter)
+
+    @given(policy=policies, attempt=attempts, seed=seeds)
+    def test_zero_jitter_is_exact_exponential(self, policy, attempt, seed):
+        policy = RetryPolicy(
+            max_retries=policy.max_retries, backoff=policy.backoff, jitter=0.0
+        )
+        rng = np.random.default_rng(seed)
+        assert policy.delay(attempt, rng) == policy.backoff * 2.0 ** (
+            attempt - 1
+        )
+
+
+class TestMonotoneCaps:
+    @given(policy=policies, attempt=st.integers(min_value=1, max_value=19),
+           seed=seeds)
+    def test_envelope_doubles_per_attempt(self, policy, attempt, seed):
+        # the *cap* is monotone: the worst-case delay of attempt k+1 is
+        # exactly twice that of attempt k, and for jitter <= 1 even the
+        # best case of k+1 dominates the worst case of k
+        rng_a = np.random.default_rng(seed)
+        rng_b = np.random.default_rng(seed)
+        d_k = policy.delay(attempt, rng_a)
+        d_next = policy.delay(attempt + 1, rng_b)
+        assert d_next == 2.0 * d_k  # same rng draw, doubled base
+
+    @given(policy=policies, seed=seeds)
+    def test_jitter_le_one_means_strictly_increasing_ranges(self, policy, seed):
+        if policy.jitter > 1.0:
+            return
+        rng = np.random.default_rng(seed)
+        worst_k = policy.backoff * (1.0 + policy.jitter)
+        best_k1 = policy.backoff * 2.0
+        assert best_k1 >= worst_k
+        # consequently any sampled sequence is non-decreasing
+        delays = [policy.delay(a, rng) for a in range(1, 6)]
+        assert delays == sorted(delays)
+
+
+class TestSeedReplayability:
+    @given(policy=policies, attempt=attempts, seed=seeds)
+    def test_same_seed_same_delay(self, policy, attempt, seed):
+        a = policy.delay(attempt, np.random.default_rng(seed))
+        b = policy.delay(attempt, np.random.default_rng(seed))
+        assert a == b
+
+    @given(policy=policies, attempt=attempts, seed=seeds)
+    def test_delay_sequences_replay(self, policy, attempt, seed):
+        rng_a = np.random.default_rng(seed)
+        rng_b = np.random.default_rng(seed)
+        seq_a = [policy.delay(k, rng_a) for k in range(1, attempt + 1)]
+        seq_b = [policy.delay(k, rng_b) for k in range(1, attempt + 1)]
+        assert seq_a == seq_b

@@ -1,0 +1,93 @@
+"""Tests for the token bucket and the admission controller."""
+
+import pytest
+
+from repro.service.admission import SHED_REASONS, AdmissionController, TokenBucket
+from repro.service.queues import TaskQueues
+from repro.service.traffic import Arrival
+
+
+def arrival(a=0, b=1, critical=True, t=0.0):
+    return Arrival(time=t, targets=(a, b), critical=critical)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_refills(self):
+        b = TokenBucket(rate=2.0, burst=2.0)
+        assert b.try_take(0.0)
+        assert b.try_take(0.0)
+        assert not b.try_take(0.0)      # burst spent
+        assert b.try_take(0.5)          # 0.5 * 2 tokens accrued
+        assert not b.try_take(0.5)
+
+    def test_refill_caps_at_burst(self):
+        b = TokenBucket(rate=10.0, burst=3.0)
+        for _ in range(3):
+            assert b.try_take(100.0)
+        assert not b.try_take(100.0)
+
+    def test_scale_slows_refill(self):
+        b = TokenBucket(rate=4.0, burst=1.0)
+        assert b.try_take(0.0)
+        b.set_scale(0.25)               # effective rate 1/unit
+        assert not b.try_take(0.5)
+        assert b.try_take(1.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, 1.0).set_scale(0.0)
+
+
+class TestAdmissionController:
+    def make(self, *, rate=100.0, burst=100.0, cap=4, n=2):
+        queues = TaskQueues(n, cap=cap)
+        return AdmissionController(TokenBucket(rate, burst), queues), queues
+
+    def test_admits_and_counts(self):
+        ctl, q = self.make()
+        admitted, target, reason = ctl.decide(0.0, arrival(), q.depths())
+        assert admitted and reason is None and target == 0
+        assert ctl.counters() == {
+            "offered": 1, "admitted": 1, "shed": 0,
+            "shed_by_reason": {"brownout": 0, "bucket": 0, "depth": 0},
+        }
+
+    def test_brownout_sheds_only_noncritical(self):
+        ctl, q = self.make()
+        ctl.set_brownout(True)
+        ok, _, reason = ctl.decide(0.0, arrival(critical=False), q.depths())
+        assert not ok and reason == "brownout"
+        ok, _, reason = ctl.decide(0.0, arrival(critical=True), q.depths())
+        assert ok and reason is None
+
+    def test_bucket_gate(self):
+        ctl, q = self.make(rate=1.0, burst=1.0)
+        assert ctl.decide(0.0, arrival(), q.depths())[0]
+        ok, _, reason = ctl.decide(0.0, arrival(), q.depths())
+        assert not ok and reason == "bucket"
+        assert ctl.shed == {"brownout": 0, "bucket": 1, "depth": 0}
+
+    def test_depth_gate_rejects_full_target(self):
+        ctl, q = self.make(cap=1)
+        for _ in range(2):            # fill both queues via admission
+            ok, target, _ = ctl.decide(0.0, arrival(), q.depths())
+            assert ok
+            q.push(target, 0.0)
+        ok, _, reason = ctl.decide(0.0, arrival(), q.depths())
+        assert not ok and reason == "depth"
+
+    def test_brownout_precedes_bucket(self):
+        # a browned-out arrival must not consume a token
+        ctl, q = self.make(rate=1.0, burst=1.0)
+        ctl.set_brownout(True)
+        assert ctl.decide(0.0, arrival(critical=False), q.depths())[2] == "brownout"
+        assert ctl.decide(0.0, arrival(critical=True), q.depths())[0]
+
+    def test_shed_total_and_reason_order(self):
+        ctl, _ = self.make()
+        assert ctl.shed_total() == 0
+        assert SHED_REASONS == ("brownout", "bucket", "depth")

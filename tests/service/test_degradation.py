@@ -1,0 +1,156 @@
+"""Tests for the degradation ladder state machine."""
+
+import pytest
+
+from repro.params import LBParams
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.degradation import STATES, DegradationLadder, LadderConfig
+from repro.service.queues import TaskQueues
+
+
+class FakeEngine:
+    """Just enough engine surface for the ladder: params + trigger."""
+
+    def __init__(self, f=1.3):
+        self.params = LBParams(f=f, delta=2, C=4)
+        self.trigger_f = f
+
+    def set_trigger_factor(self, f):
+        self.trigger_f = f
+
+
+def make(cfg=None, f=1.3):
+    queues = TaskQueues(4, cap=4)
+    admission = AdmissionController(TokenBucket(10.0, 10.0), queues)
+    engine = FakeEngine(f=f)
+    ladder = DegradationLadder(
+        cfg or LadderConfig(), admission=admission, engine=engine
+    )
+    return ladder, admission, engine
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        LadderConfig()
+
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            LadderConfig(exit_shed=0.5, enter_shed=0.3)
+        with pytest.raises(ValueError):
+            LadderConfig(enter_bp=0.9, enter_shed=0.3)
+        with pytest.raises(ValueError):
+            LadderConfig(hold=0)
+        with pytest.raises(ValueError):
+            LadderConfig(shed_scale=0.0)
+        with pytest.raises(ValueError):
+            LadderConfig(high_watermark=1.5)
+        with pytest.raises(ValueError):
+            LadderConfig(trigger_widen=0.0)
+
+
+class TestTransitions:
+    def test_starts_healthy(self):
+        ladder, _, _ = make()
+        assert ladder.state == "healthy"
+        assert ladder.transitions == []
+
+    def test_hot_enters_backpressure(self):
+        ladder, admission, _ = make()
+        ladder.evaluate(1.0, hot=0.2, depth_sheds=0)
+        assert ladder.state == "backpressure"
+        assert admission.bucket.scale == pytest.approx(0.7)
+        assert not admission.brownout
+
+    def test_depth_shed_jumps_straight_to_shedding(self):
+        ladder, admission, engine = make(f=1.3)
+        ladder.evaluate(1.0, hot=0.0, depth_sheds=2)
+        assert ladder.state == "shedding"
+        assert admission.brownout
+        assert admission.bucket.scale == pytest.approx(0.4)
+        # trigger widened: 1 + (1.3-1)*0.5
+        assert engine.trigger_f == pytest.approx(1.15)
+
+    def test_very_hot_jumps_straight_to_shedding(self):
+        ladder, _, _ = make()
+        ladder.evaluate(1.0, hot=0.5, depth_sheds=0)
+        assert ladder.state == "shedding"
+
+    def test_full_cycle_restores_knobs(self):
+        cfg = LadderConfig(hold=2)
+        ladder, admission, engine = make(cfg)
+        ladder.evaluate(1.0, hot=0.6, depth_sheds=1)      # -> shedding
+        ladder.evaluate(2.0, hot=0.1, depth_sheds=0)      # -> recovering
+        assert ladder.state == "recovering"
+        assert not admission.brownout
+        assert admission.bucket.scale == pytest.approx(0.7)
+        assert engine.trigger_f == pytest.approx(1.15)    # still widened
+        ladder.evaluate(3.0, hot=0.0, depth_sheds=0)      # calm 1
+        assert ladder.state == "recovering"
+        ladder.evaluate(4.0, hot=0.0, depth_sheds=0)      # calm 2 -> healthy
+        assert ladder.state == "healthy"
+        assert admission.bucket.scale == pytest.approx(1.0)
+        assert engine.trigger_f == pytest.approx(1.3)     # restored
+
+    def test_recovering_relapses_when_pressed(self):
+        ladder, _, _ = make()
+        ladder.evaluate(1.0, hot=0.6, depth_sheds=0)      # -> shedding
+        ladder.evaluate(2.0, hot=0.1, depth_sheds=0)      # -> recovering
+        ladder.evaluate(3.0, hot=0.0, depth_sheds=3)      # relapse
+        assert ladder.state == "shedding"
+
+    def test_noisy_calm_resets_hold_counter(self):
+        cfg = LadderConfig(hold=2)
+        ladder, _, _ = make(cfg)
+        ladder.evaluate(1.0, hot=0.6, depth_sheds=0)
+        ladder.evaluate(2.0, hot=0.1, depth_sheds=0)      # -> recovering
+        ladder.evaluate(3.0, hot=0.0, depth_sheds=0)      # calm 1
+        ladder.evaluate(4.0, hot=0.1, depth_sheds=0)      # not calm: reset
+        ladder.evaluate(5.0, hot=0.0, depth_sheds=0)      # calm 1 again
+        assert ladder.state == "recovering"
+        ladder.evaluate(6.0, hot=0.0, depth_sheds=0)      # calm 2
+        assert ladder.state == "healthy"
+
+    def test_transitions_recorded_with_reasons(self):
+        ladder, _, _ = make()
+        ladder.evaluate(1.5, hot=0.0, depth_sheds=4)
+        (tr,) = ladder.transitions
+        assert tr["t"] == 1.5
+        assert tr["prev"] == "healthy"
+        assert tr["state"] == "shedding"
+        assert "4 depth shed" in tr["reason"]
+        assert set(tr) == {"t", "prev", "state", "reason"}
+
+
+class TestTimeInState:
+    def test_sums_to_horizon(self):
+        ladder, _, _ = make()
+        ladder.evaluate(10.0, hot=0.6, depth_sheds=0)
+        ladder.evaluate(20.0, hot=0.0, depth_sheds=0)
+        tis = ladder.time_in_state(50.0)
+        assert set(tis) == set(STATES)
+        assert sum(tis.values()) == pytest.approx(50.0)
+        assert tis["healthy"] == pytest.approx(10.0)
+        assert tis["shedding"] == pytest.approx(10.0)
+        assert tis["recovering"] == pytest.approx(30.0)
+
+    def test_no_transitions_all_healthy(self):
+        ladder, _, _ = make()
+        assert ladder.time_in_state(7.0)["healthy"] == pytest.approx(7.0)
+
+
+class TestTracing:
+    def test_emits_schema_valid_service_state_events(self):
+        from repro.observability.schema import validate_trace
+        from repro.observability.tracer import Tracer
+
+        tracer = Tracer()
+        queues = TaskQueues(4, cap=4)
+        admission = AdmissionController(TokenBucket(10.0, 10.0), queues)
+        ladder = DegradationLadder(
+            LadderConfig(), admission=admission, engine=FakeEngine(),
+            tracer=tracer,
+        )
+        ladder.evaluate(1.0, hot=0.6, depth_sheds=0)
+        ladder.evaluate(2.0, hot=0.0, depth_sheds=0)
+        counts = validate_trace(tracer.events)
+        assert counts["service_state"] == 2

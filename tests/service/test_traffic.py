@@ -1,0 +1,142 @@
+"""Tests for the open-loop traffic generators."""
+
+import numpy as np
+import pytest
+
+from repro.service.traffic import (
+    Arrival,
+    BurstyTraffic,
+    DiurnalTraffic,
+    PoissonTraffic,
+    ReplayTraffic,
+    make_traffic,
+)
+from repro.workload.trace import ArrivalTrace
+
+
+class TestArrival:
+    def test_routes_to_shorter_queue(self):
+        a = Arrival(time=1.0, targets=(2, 5), critical=True)
+        assert a.route(np.array([0, 0, 3, 0, 0, 1])) == 5
+        assert a.route(np.array([0, 0, 1, 0, 0, 3])) == 2
+
+    def test_tie_goes_to_first_candidate(self):
+        a = Arrival(time=1.0, targets=(4, 1), critical=False)
+        assert a.route(np.array([0, 2, 0, 0, 2])) == 4
+
+
+class TestPoisson:
+    def test_deterministic_per_seed(self):
+        a = PoissonTraffic(8, 3.0, seed=7).arrivals(50.0)
+        b = PoissonTraffic(8, 3.0, seed=7).arrivals(50.0)
+        assert a == b
+        assert a != PoissonTraffic(8, 3.0, seed=8).arrivals(50.0)
+
+    def test_rate_matches_expectation(self):
+        arr = PoissonTraffic(8, 5.0, seed=0).arrivals(200.0)
+        # 1000 expected arrivals; 5 sigma ~ 160
+        assert 840 <= len(arr) <= 1160
+
+    def test_sorted_within_horizon_and_targets_in_range(self):
+        arr = PoissonTraffic(4, 2.0, seed=1).arrivals(30.0)
+        times = [a.time for a in arr]
+        assert times == sorted(times)
+        assert all(0 < a.time <= 30.0 for a in arr)
+        assert all(
+            0 <= a.targets[0] < 4 and 0 <= a.targets[1] < 4 for a in arr
+        )
+
+    def test_critical_frac_extremes(self):
+        all_crit = PoissonTraffic(4, 3.0, seed=0, critical_frac=1.0)
+        none_crit = PoissonTraffic(4, 3.0, seed=0, critical_frac=0.0)
+        assert all(a.critical for a in all_crit.arrivals(20.0))
+        assert not any(a.critical for a in none_crit.arrivals(20.0))
+
+    def test_zero_rate_is_silent(self):
+        assert PoissonTraffic(4, 0.0, seed=0).arrivals(10.0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonTraffic(0, 1.0)
+        with pytest.raises(ValueError):
+            PoissonTraffic(4, -1.0)
+        with pytest.raises(ValueError):
+            PoissonTraffic(4, 1.0, critical_frac=1.5)
+
+
+class TestBursty:
+    def test_burst_window_is_denser(self):
+        t = BurstyTraffic(
+            8, 3.0, burst_at=20.0, burst_duration=10.0, burst_mult=4.0, seed=0
+        )
+        arr = t.arrivals(60.0)
+        in_burst = sum(1 for a in arr if 20.0 <= a.time < 30.0)
+        before = sum(1 for a in arr if 5.0 <= a.time < 15.0)
+        assert in_burst > 2 * before
+
+    def test_unit_multiplier_degenerates_to_poisson(self):
+        # thinning keeps the stream position independent of acceptance,
+        # so mult=1 reproduces the plain Poisson schedule exactly
+        bursty = BurstyTraffic(
+            8, 3.0, burst_at=10.0, burst_duration=5.0, burst_mult=1.0, seed=3
+        )
+        plain = PoissonTraffic(8, 3.0, seed=3)
+        assert bursty.arrivals(40.0) == plain.arrivals(40.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyTraffic(4, 1.0, burst_at=0, burst_duration=0)
+        with pytest.raises(ValueError):
+            BurstyTraffic(4, 1.0, burst_at=0, burst_duration=1, burst_mult=0.5)
+
+
+class TestDiurnal:
+    def test_peak_denser_than_trough(self):
+        t = DiurnalTraffic(8, 4.0, period=40.0, amp=0.9, seed=0)
+        arr = t.arrivals(40.0)
+        # sin peaks on [0, 20), troughs on [20, 40)
+        peak_half = sum(1 for a in arr if a.time < 20.0)
+        trough_half = len(arr) - peak_half
+        assert peak_half > trough_half
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalTraffic(4, 1.0, period=0.0)
+        with pytest.raises(ValueError):
+            DiurnalTraffic(4, 1.0, period=10.0, amp=2.0)
+
+
+class TestReplay:
+    def test_round_trips_generated_stream(self):
+        gen = PoissonTraffic(6, 2.0, seed=5)
+        arr = gen.arrivals(25.0)
+        trace = ArrivalTrace.from_arrivals(6, arr)
+        assert ReplayTraffic(trace).arrivals(25.0) == arr
+
+    def test_horizon_truncates(self):
+        arr = PoissonTraffic(6, 2.0, seed=5).arrivals(25.0)
+        trace = ArrivalTrace.from_arrivals(6, arr)
+        short = ReplayTraffic(trace).arrivals(10.0)
+        assert short == [a for a in arr if a.time <= 10.0]
+
+
+class TestMakeTraffic:
+    def test_constructs_each_profile(self):
+        assert make_traffic("poisson", 4, 1.0, seed=0).name == "poisson"
+        assert make_traffic(
+            "bursty", 4, 1.0, seed=0, burst_at=1.0, burst_duration=2.0
+        ).name == "bursty"
+        assert make_traffic("diurnal", 4, 1.0, seed=0).name == "diurnal"
+
+    def test_unknown_profile_lists_known(self):
+        with pytest.raises(ValueError, match="poisson, bursty, diurnal"):
+            make_traffic("squarewave", 4, 1.0)
+
+    def test_describe_is_json_friendly(self):
+        import json
+
+        for profile in ("poisson", "bursty", "diurnal"):
+            t = make_traffic(
+                profile, 4, 1.0, seed=0, burst_at=1.0, burst_duration=2.0
+            )
+            json.dumps(t.describe())

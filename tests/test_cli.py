@@ -239,3 +239,98 @@ class TestReportAndSpansCommands:
             main(["report", "--compare", ref, str(cand)])
         assert exc.value.code == 2
         assert "DRIFT" in capsys.readouterr().out
+
+
+class TestBackendErrors:
+    def test_bench_unknown_backend_exits_2_with_listing(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "--backend", "bogus", "--sizes", "8"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown backend 'bogus'" in err
+        assert "native" in err          # the known-backend listing
+
+    def test_chaos_unknown_backend_exits_2_with_listing(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["chaos", "--backend", "bogus"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown backend 'bogus'" in err
+        assert "native" in err
+
+
+class TestServeCommand:
+    def test_smoke_chaos_writes_schema_valid_service_json(
+        self, tmp_path, capsys
+    ):
+        assert main([
+            "serve", "--smoke", "--chaos", "--out", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shedding" in out
+        assert "wrote" in out
+        import json
+
+        from repro.service import validate_service
+
+        doc = json.loads((tmp_path / "service.json").read_text())
+        assert validate_service(doc) == []
+        assert doc["final_state"] == "healthy"
+        assert any(tr["state"] == "shedding" for tr in doc["timeline"])
+
+    def test_record_then_replay_reproduces_slo(self, tmp_path, capsys):
+        offered = tmp_path / "offered.json"
+        assert main([
+            "serve", "--smoke", "--chaos", "--out", str(tmp_path / "a"),
+            "--record", str(offered),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", "--smoke", "--chaos", "--out", str(tmp_path / "b"),
+            "--replay", str(offered),
+        ]) == 0
+        assert "replayed" in capsys.readouterr().out
+        import json
+
+        a = json.loads((tmp_path / "a" / "service.json").read_text())
+        b = json.loads((tmp_path / "b" / "service.json").read_text())
+        assert a["slo"] == b["slo"]
+        assert a["timeline"] == b["timeline"]
+
+    def test_record_and_replay_are_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main([
+                "serve", "--record", str(tmp_path / "a.json"),
+                "--replay", str(tmp_path / "b.json"),
+            ])
+
+    def test_quiet_default_run(self, tmp_path, capsys):
+        assert main([
+            "serve", "--rate", "1.0", "--horizon", "20",
+            "--out", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "final state        : healthy" in out
+
+    def test_report_service_renders_sections(self, tmp_path, capsys):
+        assert main([
+            "serve", "--smoke", "--chaos", "--out", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "report", "--service", str(tmp_path / "service.json"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "### SLO verdicts" in out
+        assert "### Degradation-state timeline" in out
+        assert "### Worst-sojourn waterfall" in out
+
+    def test_report_service_rejects_invalid_doc(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "nope"}')
+        with pytest.raises(SystemExit, match="not a valid service"):
+            main(["report", "--service", str(bad)])
+
+    def test_list_mentions_serve(self, capsys):
+        main(["list"])
+        assert "serve" in capsys.readouterr().out

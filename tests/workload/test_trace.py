@@ -61,3 +61,55 @@ class TestReplay:
         trace = rec.trace()
         res2 = run_baseline(RandomScatter(8, rng=2), trace, 30, seed=6)
         assert res1.loads[-1].sum() == res2.loads[-1].sum()
+
+
+class TestArrivalTrace:
+    def make(self):
+        from repro.service.traffic import PoissonTraffic
+        from repro.workload.trace import ArrivalTrace
+
+        arrivals = PoissonTraffic(6, 2.0, seed=4).arrivals(20.0)
+        return ArrivalTrace.from_arrivals(6, arrivals), arrivals
+
+    def test_from_arrivals_preserves_rows(self):
+        trace, arrivals = self.make()
+        assert len(trace) == len(arrivals)
+        for row, a in zip(trace.rows(), arrivals):
+            assert row == (a.time, a.targets[0], a.targets[1], a.critical)
+
+    def test_json_round_trip(self, tmp_path):
+        from repro.workload.trace import ArrivalTrace
+
+        trace, _ = self.make()
+        path = tmp_path / "sub" / "offered.json"
+        trace.to_json(path)          # creates the parent directory
+        back = ArrivalTrace.from_json(path)
+        assert back.n == trace.n
+        assert list(back.rows()) == list(trace.rows())
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        import json
+
+        from repro.workload.trace import ArrivalTrace
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "something-else"}))
+        with pytest.raises(ValueError, match="expected schema"):
+            ArrivalTrace.from_json(path)
+
+    def test_validation(self):
+        from repro.workload.trace import ArrivalTrace
+
+        with pytest.raises(ValueError, match="non-decreasing"):
+            ArrivalTrace(4, [2.0, 1.0], [0, 0], [1, 1], [True, True])
+        with pytest.raises(ValueError, match="equal-length"):
+            ArrivalTrace(4, [1.0], [0, 0], [1, 1], [True, True])
+        with pytest.raises(ValueError, match="outside n="):
+            ArrivalTrace(4, [1.0], [7], [1], [True])
+
+    def test_empty_trace_is_fine(self):
+        from repro.workload.trace import ArrivalTrace
+
+        trace = ArrivalTrace(4, [], [], [], [])
+        assert len(trace) == 0
+        assert list(trace.rows()) == []
