@@ -6,10 +6,12 @@ Two roles:
   ``repro bench`` CLI uses (JSON artifact via ``save_json``), proving
   the harness end to end;
 * ``perf_smoke`` (also ``tier2``): re-measure the ``n=256`` points and
-  fail when ticks/sec regresses more than 30% against the committed
-  ``results/BENCH_engine.json`` baseline.  Best-of-three timing
-  filters scheduler noise; regenerate the baseline on a quiet machine
-  with ``repro bench --baseline <prev-rev>`` when the engine
+  the headline columnar ``n=10⁵`` quiet point, and fail when ticks/sec
+  regresses more than 30% against the committed
+  ``results/BENCH_engine.json`` baseline — or when the n=10⁵ quiet run
+  drops below the issue's interactivity floor (10³ ticks/sec, < 1 GiB
+  peak RSS).  Best-of-three timing filters scheduler noise; regenerate
+  the baseline on a quiet machine with ``repro bench`` when the engine
   legitimately changes speed.
 """
 
@@ -30,17 +32,39 @@ SMOKE_N = 256
 SMOKE_PROFILES = ("quiet", "stationary")
 ALLOWED_REGRESSION = 0.30
 BEST_OF = 3
+#: the issue's interactivity floor for the columnar engine
+HEADLINE_N = 100_000
+HEADLINE_MIN_TPS = 1000.0
+HEADLINE_MAX_RSS = 2**30  # 1 GiB
+
+
+def _committed_run(doc, n, profile):
+    return next(
+        (
+            r
+            for r in doc["runs"]
+            if r["n"] == n and r["profile"] == profile
+        ),
+        None,
+    )
 
 
 def test_report_covers_all_profiles(results_dir):
     doc = bench_report(ns=(64,), baseline_rev=None)
     assert doc["schema"] == "repro.bench_engine.v1"
+    assert doc["profile_policy"] == {"quiet_only_above": 4096}
     assert {r["profile"] for r in doc["runs"]} == set(PROFILES)
     for rec in doc["runs"]:
+        assert rec["engine"] == "columnar"
         assert rec["ticks_per_sec"] > 0
         assert rec["peak_rss_bytes"] > 0
         assert "sections" in rec
         assert "_l" not in rec  # internal check vector must not leak
+    # the fast-path cross-check section ran and asserted state equality
+    assert {r["engine"] for r in doc["fastpath"]["runs"]} == {"fast"}
+    assert set(doc["fastpath"]["speedup"]) == {
+        f"{p}@64" for p in PROFILES
+    }
     save_json(results_dir, "bench_engine_n64", doc)
 
 
@@ -50,13 +74,20 @@ def test_quiet_profile_is_event_free():
     assert rec["events"] == {}
 
 
-def test_fast_and_scalar_paths_agree_on_bench_workloads():
+def test_engines_agree_on_bench_workloads():
     for profile in PROFILES:
-        fast = run_microbench(64, profile, ticks=40, fast_path=True)
-        slow = run_microbench(64, profile, ticks=40, fast_path=False)
-        assert fast["_l"] == slow["_l"], profile
-        assert fast["events"] == slow["events"], profile
-        assert fast["total_ops"] == slow["total_ops"], profile
+        runs = {
+            engine: run_microbench(64, profile, ticks=40, engine=engine)
+            for engine in ("columnar", "fast", "scalar")
+        }
+        ref = runs["scalar"]
+        for engine in ("columnar", "fast"):
+            assert runs[engine]["_l"] == ref["_l"], (engine, profile)
+            assert runs[engine]["events"] == ref["events"], (engine, profile)
+            assert runs[engine]["total_ops"] == ref["total_ops"], (
+                engine,
+                profile,
+            )
 
 
 @pytest.mark.tier2
@@ -66,19 +97,12 @@ def test_no_perf_regression_at_n256(profile):
     if not BENCH_ENGINE_JSON.exists():
         pytest.skip("no committed BENCH_engine.json baseline")
     doc = json.loads(BENCH_ENGINE_JSON.read_text())
-    committed = next(
-        (
-            r
-            for r in doc["runs"]
-            if r["n"] == SMOKE_N and r["profile"] == profile
-        ),
-        None,
-    )
+    committed = _committed_run(doc, SMOKE_N, profile)
     assert committed is not None, (
         f"baseline has no n={SMOKE_N} {profile} run — regenerate it"
     )
     best = max(
-        run_microbench(SMOKE_N, profile)["ticks_per_sec"]
+        run_microbench(SMOKE_N, profile, engine="columnar")["ticks_per_sec"]
         for _ in range(BEST_OF)
     )
     floor = committed["ticks_per_sec"] * (1 - ALLOWED_REGRESSION)
@@ -88,3 +112,54 @@ def test_no_perf_regression_at_n256(profile):
         f"{committed['ticks_per_sec']:.1f} (floor {floor:.1f}); if the "
         "slowdown is intended, regenerate results/BENCH_engine.json"
     )
+
+
+@pytest.mark.tier2
+@pytest.mark.perf_smoke
+def test_committed_baseline_has_headline_rows():
+    """The committed artifact must carry the issue's headline numbers."""
+    if not BENCH_ENGINE_JSON.exists():
+        pytest.skip("no committed BENCH_engine.json baseline")
+    doc = json.loads(BENCH_ENGINE_JSON.read_text())
+    big = _committed_run(doc, HEADLINE_N, "quiet")
+    assert big is not None, "baseline lacks the n=10^5 quiet row"
+    assert big["engine"] == "columnar"
+    assert big["ticks_per_sec"] >= HEADLINE_MIN_TPS
+    assert big["peak_rss_bytes"] < HEADLINE_MAX_RSS
+    huge = _committed_run(doc, 1_000_000, "quiet")
+    assert huge is not None, "baseline lacks the n=10^6 quiet row"
+    assert f"quiet@{HEADLINE_N}" in doc["fastpath"]["extrapolated"]
+
+
+@pytest.mark.tier2
+@pytest.mark.perf_smoke
+def test_columnar_quiet_1e5_is_interactive():
+    """Fresh measurement: >= 10^3 quiet ticks/sec at n=10^5, < 1 GiB.
+
+    The RSS bound is checked on this process's high-water mark after
+    the run — any earlier test in the session only makes the bound
+    harder, never easier.
+    """
+    if not BENCH_ENGINE_JSON.exists():
+        pytest.skip("no committed BENCH_engine.json baseline")
+    doc = json.loads(BENCH_ENGINE_JSON.read_text())
+    committed = _committed_run(doc, HEADLINE_N, "quiet")
+    assert committed is not None, "baseline lacks the n=10^5 quiet row"
+    best = max(
+        run_microbench(
+            HEADLINE_N, "quiet", engine="columnar", ticks=100
+        )["ticks_per_sec"]
+        for _ in range(BEST_OF)
+    )
+    floor = max(
+        HEADLINE_MIN_TPS,
+        committed["ticks_per_sec"] * (1 - ALLOWED_REGRESSION),
+    )
+    assert best >= floor, (
+        f"quiet@{HEADLINE_N}: {best:.1f} ticks/s below floor {floor:.1f} "
+        f"(committed {committed['ticks_per_sec']:.1f}, interactivity "
+        f"target {HEADLINE_MIN_TPS:.0f})"
+    )
+    from repro.experiments.microbench import peak_rss_bytes
+
+    assert peak_rss_bytes() < HEADLINE_MAX_RSS

@@ -21,7 +21,8 @@ Observability tools (see docs/OBSERVABILITY.md)::
     repro trace --engine async [--horizon 50]
     repro profile [--n 64] [--steps 300] [--seed 0]
     repro profile --engine async [--horizon 60]
-    repro bench [--sizes 64,256,1024,4096] [--baseline REV] [--out DIR]
+    repro bench [--sizes 64,...,1000000 | -n N] [--profile quiet,...]
+                [--ticks T] [--baseline REV] [--out DIR]
                 [--backend native|multiprocessing] [--jobs N]
     repro chaos [--n 32] [--horizon 80] [--crash-frac 0.1]
                 [--message-loss 0.01] [--out DIR]
@@ -56,10 +57,12 @@ run's aggregate counters, and (with ``--trace-out``) exports the
 schema-validated NDJSON.  ``--diff`` compares two recorded traces.
 ``repro profile`` times the engine's hot sections for one run.
 ``repro bench`` runs the engine tick microbenchmarks
-(:mod:`repro.experiments.microbench`) and writes
-``results/BENCH_engine.json``; ``--baseline REV`` additionally re-runs
-the engine of an older git revision on the same action streams and
-records the speedup (see docs/PERFORMANCE.md).  Multi-run commands
+(:mod:`repro.experiments.microbench`) on the columnar engine and writes
+``results/BENCH_engine.json``; ``-n``/``--profile``/``--ticks`` narrow
+the grid to one size / a profile subset / a fixed tick count (CI smoke
+runs), and ``--baseline REV`` additionally re-runs the engine of an
+older git revision on the same action streams and records the speedup
+(see docs/PERFORMANCE.md).  Multi-run commands
 (``bench``, ``chaos``, and every experiment built on
 ``quality_experiment``) execute through the pluggable batch backend
 selected by ``--backend``/``--jobs`` or ``REPRO_BACKEND`` /
@@ -134,7 +137,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", type=Path, default=None, help="directory for CSV output")
     # trace / profile options
-    p.add_argument("--n", type=int, default=16, help="network size (trace/profile)")
+    p.add_argument(
+        "--n", "-n", type=int, default=16,
+        help="network size (trace/profile/serve; bench: run this single "
+        "size instead of --sizes)",
+    )
     p.add_argument("--steps", type=int, default=200, help="ticks (trace/profile)")
     p.add_argument("--f", type=float, default=1.3, help="trigger factor (trace/profile)")
     p.add_argument("--delta", type=int, default=2, help="partners (trace/profile)")
@@ -235,8 +242,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     # bench options
     p.add_argument(
-        "--sizes", type=str, default="64,256,1024,4096",
+        "--sizes", type=str, default="64,256,1024,4096,100000,1000000",
         help="comma-separated network sizes (bench)",
+    )
+    p.add_argument(
+        "--profile", type=str, default=None, metavar="NAMES",
+        help="comma-separated workload profiles to benchmark "
+        "(quiet|stationary|growth; bench; default all three)",
+    )
+    p.add_argument(
+        "--ticks", type=int, default=None,
+        help="measured ticks per point, overriding the per-profile "
+        "budget (bench; CI smoke runs)",
     )
     p.add_argument(
         "--baseline", type=str, default=None, metavar="REV",
@@ -490,6 +507,7 @@ def _check_backend(args: argparse.Namespace) -> None:
 
 def _run_bench(args: argparse.Namespace) -> str:
     from repro.experiments.microbench import (
+        PROFILES,
         bench_report,
         render_report,
         write_bench_json,
@@ -497,17 +515,42 @@ def _run_bench(args: argparse.Namespace) -> str:
     from repro.params import LBParams
 
     _check_backend(args)
-    try:
-        ns = tuple(int(x) for x in args.sizes.split(",") if x)
-    except ValueError as exc:
-        raise SystemExit(
-            f"error: --sizes expects comma-separated ints, got {args.sizes!r}"
-        ) from exc
+    profiles = PROFILES
+    if args.profile is not None:
+        profiles = tuple(x.strip() for x in args.profile.split(",") if x.strip())
+        for name in profiles:
+            if name not in PROFILES:
+                # same contract as an unknown --backend: exit 2 with the
+                # known-name listing, not a traceback from the grid loop
+                print(
+                    f"error: unknown profile {name!r} "
+                    f"(known profiles: {', '.join(PROFILES)})",
+                    file=sys.stderr,
+                )
+                raise SystemExit(2)
+        if not profiles:
+            print(
+                f"error: --profile needs at least one of "
+                f"{', '.join(PROFILES)}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+    if args.n != 16:  # parser default; only override when the user asked
+        ns = (args.n,)
+    else:
+        try:
+            ns = tuple(int(x) for x in args.sizes.split(",") if x)
+        except ValueError as exc:
+            raise SystemExit(
+                f"error: --sizes expects comma-separated ints, got {args.sizes!r}"
+            ) from exc
     if not ns or any(n < 2 for n in ns):
         raise SystemExit(f"error: --sizes needs values >= 2, got {args.sizes!r}")
     doc = bench_report(
         ns,
+        profiles=profiles,
         params=LBParams(f=args.f, delta=args.delta, C=args.cap),
+        ticks=args.ticks,
         baseline_rev=args.baseline,
         engine_seed=args.seed or 7,
         backend=args.backend,

@@ -12,6 +12,11 @@
   (:mod:`repro.core.borrowing`) with its Table-1 counters.
 * :mod:`repro.core.ledger` — the compact active-class representation
   backing the engine's ``d``/``b`` matrices.
+* :mod:`repro.core.columnar` — the struct-of-arrays tick engine: the
+  whole tick as a fused pass pipeline, bit-identical to the scalar
+  sweep, interactive at n = 10⁵–10⁶ (see docs/PERFORMANCE.md).
+* :mod:`repro.core.rngadvance` — bit-exact RNG fast-forward kernels
+  backing the columnar engine's permutation skip.
 """
 
 from repro.core.balance import even_split, snake_distribute, SnakeDealer
@@ -23,7 +28,8 @@ from repro.core.selection import (
 )
 from repro.core.opg import OPGResult, simulate_opg
 from repro.core.opgc import DecreaseResult, simulate_decrease, simulate_opgc
-from repro.core.engine import Engine, EngineConfig
+from repro.core.engine import Engine, EngineConfig, TickClassification
+from repro.core.columnar import ColumnarEngine, PassPipeline, TickPass
 from repro.core.ledger import ClassLedger
 from repro.core.borrowing import BorrowCounters
 from repro.core.events import BalanceEvent
@@ -52,6 +58,10 @@ __all__ = [
     "simulate_decrease",
     "Engine",
     "EngineConfig",
+    "TickClassification",
+    "ColumnarEngine",
+    "PassPipeline",
+    "TickPass",
     "ClassLedger",
     "BorrowCounters",
     "BalanceEvent",

@@ -64,6 +64,26 @@ class BorrowCounters:
     debt_annihilated: int = 0
     debts_settled: int = 0
 
+    def as_tuple(self) -> tuple[int, ...]:
+        """All nine counters as a plain tuple, ``as_dict`` key order.
+
+        Allocation-light equality probe for per-tick lockstep
+        comparisons (the columnar-vs-scalar property test calls this
+        after every tick; building two dicts per tick there doubles the
+        test's runtime for no information).
+        """
+        return (
+            self.total_borrow,
+            self.remote_borrow,
+            self.borrow_fail,
+            self.decrease_sim,
+            self.repayments,
+            self.consume_blocked,
+            self.starved,
+            self.debt_annihilated,
+            self.debts_settled,
+        )
+
     def as_dict(self) -> dict[str, int]:
         return {
             "total_borrow": self.total_borrow,

@@ -1,0 +1,516 @@
+"""Columnar tick engine: one tick as a pipeline of fused array passes.
+
+The PR 3 fast path batches quiet processors but still walks a Python
+list per tick, and every *active* processor (repays, borrows, partner
+selection, deals) runs per-processor Python.  This module keeps the
+struct-of-arrays state the engine already has — ``l``, ``l_old``,
+``d.diag``, ``d.row_sums``, ``b.row_sums`` as numpy columns, the
+ledgers' off-diagonals sparse (CSR export via ``ClassLedger.to_csr``) —
+and expresses the whole tick as an ordered list of **array passes**
+composed by :class:`PassPipeline`, in the compiler-pass style of
+ngraph's transformers: a tick "program" that a fusion step rewrites
+before execution.
+
+The unfused program is::
+
+    classify -> advance -> apply -> residual
+
+* **classify** — one fused band pass (:meth:`FactorTrigger.quiet_interval`)
+  producing the fast/starved/slow masks, then picks the tick *mode*;
+* **advance** — consume the tick's permutation draw: a bit-exact RNG
+  fast-forward (:class:`~repro.core.rngadvance.PermutationSkipper`)
+  when the permutation's values are never read, the real draw otherwise;
+* **apply** — bulk ±1 application of the fast masks (loads, diagonal,
+  row sums in three vector ops);
+* **residual** — everything that needs per-processor semantics: the
+  inherited scalar handlers (partner-match → deal → repay → debt-settle,
+  with their spans and trace events) run at exactly the permutation
+  positions of slow or mid-tick-dirtied processors, with the fast
+  *segments between* those stops applied in bulk gathers.
+
+Fusion (``fuse=True``, the default) rewrites ``advance + apply`` into a
+single :class:`FusedQuietPass`, which unlocks the **deep-quiet lane**:
+when nothing in the network owes a debt and every processor's band
+margin allows at least one more ±1 drift, the band margin *is* a proven
+horizon of ticks that cannot classify anything slow — those ticks run
+as one fused C call (validate + apply) plus an RNG state advance,
+skipping classification entirely.  Profiling drove exactly this fusion:
+at n = 10⁵ the unfused pipeline spends over half the tick in classify
+and mask materialisation that the horizon proof makes redundant.
+
+Exactness
+---------
+``ColumnarEngine`` subclasses :class:`~repro.core.engine.Engine`: the
+scalar handlers are inherited verbatim, so every processor routed to
+them consumes the identical RNG draws and emits identical trace events,
+spans and monitor-visible state as the oracle.  Fast processors draw no
+RNG and touch only their own diagonal, so bulk application commutes
+with any interleaving; the permutation skip is bit-exact by the probe
+in :mod:`repro.core.rngadvance`; and the deep-quiet horizon is derived
+from the same integer bands the classifier uses.  The result is
+RNG- and trace-identical to ``Engine(fast_path=False)`` — pinned on the
+seeded equivalence grid, per-tick by a hypothesis property, and through
+a full monitors-on golden trace (``tests/core/test_columnar_equivalence.py``).
+
+See ``docs/PERFORMANCE.md`` for the pass catalogue, the fusion rule and
+the horizon derivation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+
+import numpy as np
+
+from repro.core.engine import Engine, EngineConfig, TickClassification
+from repro.core.rngadvance import PermutationSkipper, quiet_apply
+
+__all__ = [
+    "ColumnarEngine",
+    "PassPipeline",
+    "TickPass",
+    "ClassifyPass",
+    "AdvancePass",
+    "ApplyPass",
+    "ResidualPass",
+    "FusedQuietPass",
+]
+
+# the segmented residual sweep pays a few numpy gathers per scalar stop;
+# when the average fast segment between stops is shorter than this, the
+# buffered Python walk of the base fast path wins — classify hands such
+# ticks to the dense delegate
+_MIN_SEGMENT = 32
+
+
+class _TickFrame:
+    """Mutable per-tick scratch carried between passes."""
+
+    __slots__ = ("actions", "cls", "order", "mode")
+
+    def __init__(self, actions: np.ndarray) -> None:
+        self.actions = actions
+        self.cls: TickClassification | None = None
+        self.order: np.ndarray | None = None
+        # "deep" | "bulk" | "residual" | "dense" — set by classify
+        self.mode = ""
+
+
+class _NotifyingSet(set):
+    """The engine's ``_dirty`` set with a mutation hook.
+
+    The residual sweep installs a hook for the duration of one tick so
+    that a processor dirtied by someone else's balancing operation is
+    *scheduled* as a scalar stop if its turn is still ahead — the array
+    analogue of the base fast path's ``i not in dirty`` re-check.
+    """
+
+    __slots__ = ("hook",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.hook = None
+
+    def add(self, item) -> None:
+        super().add(item)
+        if self.hook is not None:
+            self.hook(item)
+
+    def update(self, items) -> None:
+        if self.hook is None:
+            super().update(items)
+        else:
+            for item in items:
+                self.add(item)
+
+
+class TickPass:
+    """One array pass of the tick program.
+
+    ``run`` mutates the engine and/or the frame; ``fuse`` implements the
+    pipeline's pairwise rewrite rule — return a merged pass to replace
+    ``self`` and ``nxt``, or None to keep them separate.
+    """
+
+    name = "pass"
+
+    def run(self, eng: "ColumnarEngine", frame: _TickFrame) -> None:
+        raise NotImplementedError
+
+    def fuse(self, nxt: "TickPass") -> "TickPass | None":
+        return None
+
+
+class ClassifyPass(TickPass):
+    """Validate actions, build the tick masks, choose the tick mode."""
+
+    name = "classify"
+
+    def run(self, eng: "ColumnarEngine", frame: _TickFrame) -> None:
+        if eng._deep_left > 0:
+            # inside a proven deep-quiet horizon: no masks needed, the
+            # fused pass validates and applies in one fused call
+            frame.mode = "deep"
+            return
+        if eng._fused:
+            # probe the horizon *before* building any masks: h >= 1
+            # proves this very tick all-fast too, so the whole mask
+            # classification is redundant work (this is what makes the
+            # steady quiet tick O(1) numpy calls instead of ~30)
+            h = eng._deep_horizon()
+            if h >= 1:
+                eng._deep_left = h - 1
+                frame.mode = "deep"
+                return
+        actions = frame.actions
+        bad = (actions < -1) | (actions > 1)
+        if bad.any():
+            i = int(np.nonzero(bad)[0][0])
+            raise ValueError(
+                f"invalid action {int(actions[i])} for processor {i}"
+            )
+        cls = eng._classify(actions)
+        frame.cls = cls
+        if cls.n_slow == 0:
+            frame.mode = "bulk"
+        elif cls.n_slow * _MIN_SEGMENT > eng.n:
+            frame.mode = "dense"
+        else:
+            frame.mode = "residual"
+
+
+class AdvancePass(TickPass):
+    """Consume the tick's permutation draw (skip or real draw)."""
+
+    name = "advance"
+
+    def run(self, eng: "ColumnarEngine", frame: _TickFrame) -> None:
+        mode = frame.mode
+        if mode == "bulk":
+            eng._skipper.skip(eng.n)
+        elif mode == "residual":
+            frame.order = eng.rng.permutation(eng.n)
+        # deep never reaches an unfused pipeline; dense draws its own
+
+    def fuse(self, nxt: TickPass) -> "TickPass | None":
+        # the one fusion rule: advance+apply collapse into the fused
+        # quiet pass, which enables the deep-quiet lane (see module doc)
+        if isinstance(nxt, ApplyPass):
+            return FusedQuietPass()
+        return None
+
+
+class ApplyPass(TickPass):
+    """Bulk-apply the fast masks of a no-slow-processors tick."""
+
+    name = "apply"
+
+    def run(self, eng: "ColumnarEngine", frame: _TickFrame) -> None:
+        if frame.mode == "bulk":
+            eng._apply_bulk(frame.cls)
+
+
+class FusedQuietPass(TickPass):
+    """``advance + apply`` fused; hosts the deep-quiet lane."""
+
+    name = "advance+apply"
+
+    def run(self, eng: "ColumnarEngine", frame: _TickFrame) -> None:
+        mode = frame.mode
+        if mode == "deep":
+            # validate + apply in one C pass; on an invalid action this
+            # raises *before* any mutation or RNG advance, exactly like
+            # the scalar sweep, and the horizon is left intact
+            npos, nneg = quiet_apply(
+                frame.actions,
+                eng.l,
+                eng.d.diag,
+                eng.d.row_sums,
+                use_kernel=eng._use_kernel,
+            )
+            eng._skipper.skip(eng.n)
+            eng._deep_left -= 1
+            eng.total_generated += npos
+            eng.total_consumed += nneg
+        elif mode == "bulk":
+            eng._skipper.skip(eng.n)
+            eng._apply_bulk(frame.cls)
+        elif mode == "residual":
+            frame.order = eng.rng.permutation(eng.n)
+
+
+class ResidualPass(TickPass):
+    """Per-processor semantics: scalar stops + bulk fast segments."""
+
+    name = "residual"
+
+    def run(self, eng: "ColumnarEngine", frame: _TickFrame) -> None:
+        if frame.mode == "residual":
+            eng._residual_sweep(frame)
+        elif frame.mode == "dense":
+            # too many scalar stops for segmented gathers to pay: the
+            # base fast path's buffered Python walk is the right tool
+            # (and draws the real permutation itself)
+            Engine._step_fast(eng, frame.actions, cls=frame.cls)
+
+
+class PassPipeline:
+    """Ordered array passes making up one tick, with pairwise fusion.
+
+    ``compile`` applies each pass's ``fuse`` rule to its successor once,
+    left to right — the minimal compiler-pass machinery this pipeline
+    needs (a richer rewriter would be over-engineering for a four-pass
+    program).  ``describe()`` renders the compiled program for docs,
+    tests and debugging.
+    """
+
+    def __init__(self, passes: list[TickPass], *, fuse: bool = True) -> None:
+        self.source = list(passes)
+        self.fused = bool(fuse)
+        self.passes = self._compile(self.source) if fuse else list(self.source)
+
+    @staticmethod
+    def _compile(passes: list[TickPass]) -> list[TickPass]:
+        out: list[TickPass] = []
+        i = 0
+        while i < len(passes):
+            if i + 1 < len(passes):
+                merged = passes[i].fuse(passes[i + 1])
+                if merged is not None:
+                    out.append(merged)
+                    i += 2
+                    continue
+            out.append(passes[i])
+            i += 1
+        return out
+
+    def describe(self) -> str:
+        return " -> ".join(p.name for p in self.passes)
+
+    def run(self, eng: "ColumnarEngine", frame: _TickFrame) -> None:
+        if eng._profile:
+            profiler = eng.profiler
+            for p in self.passes:
+                t0 = time.perf_counter_ns()
+                p.run(eng, frame)
+                profiler.observe_ns(
+                    f"pipeline.{p.name}", time.perf_counter_ns() - t0
+                )
+        else:
+            for p in self.passes:
+                p.run(eng, frame)
+
+
+class ColumnarEngine(Engine):
+    """Struct-of-arrays engine, bit-identical to the scalar sweep.
+
+    Drop-in replacement for :class:`Engine` (same constructor plus two
+    knobs); interactive at n = 10⁵–10⁶ on quiet-dominated workloads.
+
+    Parameters beyond :class:`Engine`'s:
+
+    fuse:
+        Run the pass pipeline through its fusion rewrite (default).
+        ``fuse=False`` executes the unfused four-pass program — every
+        tick classifies and masks, no deep-quiet lane — still bit-exact,
+        used to pin that fusion changes nothing but speed.
+    kernel:
+        ``"auto"`` (default) uses the C kernels of
+        :mod:`repro.core.rngadvance` when they pass their exactness
+        probe; ``"off"`` forces the pure numpy/python fallbacks.
+
+    Custom per-processor ``triggers`` disable the vectorized path
+    entirely (inherited behaviour): the engine then runs the scalar
+    reference sweep.  External mid-run mutation of engine state (tests
+    poking ``d``/``l`` between steps) must be followed by
+    :meth:`invalidate_horizon`.
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        *,
+        rng=0,
+        selector=None,
+        triggers=None,
+        tracer=None,
+        profiler=None,
+        spans=None,
+        fuse: bool = True,
+        kernel: str = "auto",
+    ) -> None:
+        super().__init__(
+            config,
+            rng=rng,
+            selector=selector,
+            triggers=triggers,
+            tracer=tracer,
+            profiler=profiler,
+            spans=spans,
+        )
+        # replace the plain dirty set with the hook-capable one before
+        # any tick runs (the scalar handlers mutate it via add/update)
+        self._dirty = _NotifyingSet()
+        self._deep_left = 0
+        self._fused = bool(fuse)
+        self._use_kernel = kernel != "off"
+        self._skipper = PermutationSkipper(self.rng, kernel=kernel)
+        self.pipeline = PassPipeline(
+            [ClassifyPass(), AdvancePass(), ApplyPass(), ResidualPass()],
+            fuse=fuse,
+        )
+
+    # -- tick ------------------------------------------------------------
+
+    def _step_fast(self, actions: np.ndarray, cls=None) -> None:
+        if actions.dtype.kind not in "iu":
+            # non-integer action vectors (exotic test inputs) take the
+            # base path: the C apply would truncate instead of matching
+            # the scalar sweep's per-element comparisons
+            return super()._step_fast(actions, cls)
+        self._dirty.clear()
+        self.pipeline.run(self, _TickFrame(actions))
+
+    def invalidate_horizon(self) -> None:
+        """Drop the deep-quiet horizon after external state mutation."""
+        self._deep_left = 0
+
+    # -- deep-quiet horizon ----------------------------------------------
+
+    def _deep_horizon(self) -> int:
+        """Ticks from now that provably classify every processor fast.
+
+        Requires no prior classification — the bound is derived from the
+        current columns alone.  With no debts anywhere, each tick moves
+        any ``own`` and ``l`` by at most 1, so before tick ``k``
+        (``k = 1`` being the next tick) ``own' ∈ [own-(k-1), own+(k-1)]``.
+        Requiring ``lo + 2 <= own' <= hi - 2`` keeps both post-action
+        loads (``own' ± 1``) strictly inside the trigger band, and
+        ``l - (k-1) >= 1`` rules out starvation; generates stay
+        repay-free because nothing in a fast tick creates debts.  Hence
+        ``h = min(own - lo - 1, hi - own - 1, l)`` consecutive ticks
+        need no classification at all.  The ``own >= 1`` consume guard
+        follows from ``own' >= lo + 2 >= 1`` whenever ``lo >= -1``; the
+        guarded ``l_old == 0`` band (``lo`` at int64-min scale) instead
+        forces ``hi - own - 1 <= 0`` for any non-negative ``own``, so
+        such processors simply veto the deep lane.
+        """
+        if self.b.row_sums.any():
+            return 0
+        own = self.d.diag
+        lo, hi = self.trigger.quiet_interval(self.l_old)
+        margin = np.minimum(own - lo - 1, hi - own - 1)
+        margin = np.minimum(margin, self.l)
+        h = int(margin.min()) if self.n else 0
+        return h if h > 0 else 0
+
+    # -- bulk application -------------------------------------------------
+
+    def _apply_bulk(self, cls: TickClassification) -> None:
+        """Apply a whole no-slow tick from the masks (order-free)."""
+        d = self.d
+        load = self.l
+        n_gen = int(np.count_nonzero(cls.fast_gen))
+        n_con = int(np.count_nonzero(cls.fast_con))
+        if n_gen:
+            d.bulk_diag_add(cls.fast_gen, 1)
+            load[cls.fast_gen] += 1
+            self.total_generated += n_gen
+        if n_con:
+            d.bulk_diag_add(cls.fast_con, -1)
+            load[cls.fast_con] -= 1
+            self.total_consumed += n_con
+        n_starved = int(np.count_nonzero(cls.starved))
+        if n_starved:
+            self.counters.starved += n_starved
+
+    def _apply_segment(
+        self,
+        seg: np.ndarray,
+        fast_gen: np.ndarray,
+        fast_con: np.ndarray,
+        starved: np.ndarray,
+    ) -> int:
+        """Bulk-apply one contiguous fast run of the permutation.
+
+        Every processor in ``seg`` is fast, starved or idle (scheduled
+        stops bound the segment), so the updates commute and gathers are
+        exact.  Returns the starved count for the segment.
+        """
+        d = self.d
+        load = self.l
+        gen_ids = seg[fast_gen[seg]]
+        con_ids = seg[fast_con[seg]]
+        if gen_ids.size:
+            d.bulk_diag_add(gen_ids, 1)
+            load[gen_ids] += 1
+            self.total_generated += int(gen_ids.size)
+        if con_ids.size:
+            d.bulk_diag_add(con_ids, -1)
+            load[con_ids] -= 1
+            self.total_consumed += int(con_ids.size)
+        return int(np.count_nonzero(starved[seg]))
+
+    # -- residual sweep ---------------------------------------------------
+
+    def _residual_sweep(self, frame: _TickFrame) -> None:
+        """Scalar stops at slow/dirtied positions, bulk gathers between.
+
+        A min-heap over permutation *positions* holds the pending scalar
+        stops — initially the slow-classified processors, extended live
+        by the dirty-set hook whenever a balancing operation touches a
+        processor whose turn is still ahead (matching the base fast
+        path's conservative re-route).  Between consecutive stops every
+        processor is provably fast/starved/idle, so those segments apply
+        as gathers; the scalar handlers themselves are the inherited
+        ones, so RNG draws, trace events and spans are bit-identical.
+        """
+        cls = frame.cls
+        order = frame.order
+        actions = frame.actions
+        n = self.n
+        fast_gen, fast_con, starved = cls.fast_gen, cls.fast_con, cls.starved
+
+        # permutation position of each processor, for the dirty hook
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = np.arange(n)
+        heap = np.nonzero(cls.slow[order])[0].tolist()  # ascending = heapified
+        scheduled = cls.slow.copy()
+
+        pos_now = -1  # position of the stop currently running
+
+        def on_dirty(j: int) -> None:
+            # schedule j as a scalar stop iff its turn is still ahead
+            # and it would otherwise act in a bulk segment
+            if not scheduled[j] and rank[j] > pos_now and actions[j] != 0:
+                scheduled[j] = True
+                heapq.heappush(heap, int(rank[j]))
+
+        dirty = self._dirty
+        dirty.hook = on_dirty
+        try:
+            cursor = 0
+            n_starved = 0
+            while heap:
+                p = heapq.heappop(heap)
+                pos_now = p
+                if p > cursor:
+                    n_starved += self._apply_segment(
+                        order[cursor:p], fast_gen, fast_con, starved
+                    )
+                cursor = p + 1
+                i = int(order[p])
+                if int(actions[i]) == 1:
+                    self._generate(i)
+                else:
+                    self._consume(i)
+            if cursor < n:
+                pos_now = n
+                n_starved += self._apply_segment(
+                    order[cursor:n], fast_gen, fast_con, starved
+                )
+            if n_starved:
+                self.counters.starved += n_starved
+        finally:
+            dirty.hook = None

@@ -1,0 +1,381 @@
+"""Bit-exact RNG fast-forward and fused quiet-tick apply (C kernels).
+
+The engines draw one ``rng.permutation(n)`` per tick to randomise the
+processor sweep order.  On an *all-fast* tick (every processor is a
+debt-free generate, a consume-own, starved, or idle) the permutation's
+**values** are never read — only the generator state advance matters,
+because the next tick's draws must come from the same stream position as
+the scalar sweep's.  At n = 10⁵–10⁶ materialising and discarding that
+permutation dominates the tick, so :class:`PermutationSkipper` advances
+the generator state *without* building the array.
+
+Exactness contract
+------------------
+``numpy.random.Generator.permutation(n)`` is a Fisher–Yates shuffle that
+draws each index ``j`` in ``[0, i]`` for ``i = n-1 .. 1`` with Lemire's
+masked-rejection scheme on 32-bit words (for ``n - 1 <= UINT32_MAX``):
+draw a 32-bit word, AND with the smallest all-ones mask covering ``i``,
+reject while the result exceeds ``i``.  The 32-bit words come from
+splitting 64-bit outputs: low half first, and the high half is buffered
+in the bit generator's ``uinteger`` slot — numpy *always* stores the
+high half on every 64-bit draw, even when the buffered value is about to
+be consumed, which is why the kernels below do the same (the replay must
+reproduce the buffer byte-for-byte, not just the accepted values).
+
+Three tiers, best available wins, each verified at first use by a probe
+that replays real ``permutation`` calls and compares the **full bit
+generator state dict** (including the 32-bit buffer) against the kernel:
+
+* ``pcg64`` — writes numpy's PCG64 state struct directly through
+  ``bit_generator.ctypes.state_address`` and steps the 128-bit LCG +
+  XSL-RR output function in C.  No Python per tick at all.
+* ``next32`` — generic: calls the bit generator's own ``next_uint32``
+  C function pointer from C, so any bit generator works; the rejection
+  loop is identical by construction.
+* ``python`` — draw the real permutation and discard it (always exact,
+  the reference the probes compare against).
+
+``quiet_apply`` is the companion kernel: validate + apply a whole
+all-fast ±1 tick (``l``, ``d.diag``, ``d.row_sums``) in one C pass,
+falling back to numpy when no compiler is available.
+
+Set ``REPRO_NO_CKERNEL=1`` to disable both kernels (pure-python tiers
+only); the engines stay bit-identical either way, only slower.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["PermutationSkipper", "quiet_apply", "kernel_available"]
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+typedef unsigned __int128 u128;
+
+/* numpy's PCG64 multiplier (PCG_DEFAULT_MULTIPLIER_128) */
+static const u128 MULT =
+    (((u128)2549297995355413924ULL) << 64) | 4865540595714422341ULL;
+
+static inline uint64_t rotr64(uint64_t v, unsigned r) {
+    return (v >> r) | (v << ((64 - r) & 63));
+}
+
+/* layouts match numpy/random/src/pcg64/pcg64.h and _pcg64.pyx */
+typedef struct { u128 state; u128 inc; } pcg64_random_t;
+typedef struct {
+    pcg64_random_t *pcg_state;
+    int has_uint32;
+    uint32_t uinteger;
+} pcg64_state;
+
+/* Advance a PCG64 state exactly as Generator.permutation(n) would:
+ * Fisher-Yates with masked-rejection 32-bit draws, low half of each
+ * 64-bit output first, high half buffered in `uinteger` (numpy stores
+ * the high half on EVERY 64-bit draw, even when immediately consumed).
+ * The accept/shrink steps are branchless; only the refill loop remains.
+ */
+void advance_shuffle_pcg64(void *state_struct, uint64_t n) {
+    pcg64_state *st = (pcg64_state *)state_struct;
+    if (n < 2) return;
+    u128 state = st->pcg_state->state;
+    const u128 inc = st->pcg_state->inc;
+    int has = st->has_uint32;
+    uint32_t buf = st->uinteger;
+    uint64_t i = n - 1;
+    uint64_t mask = i;
+    mask |= mask >> 1; mask |= mask >> 2; mask |= mask >> 4;
+    mask |= mask >> 8; mask |= mask >> 16; mask |= mask >> 32;
+    if (has) {
+        has = 0;
+        i -= ((buf & mask) <= i);
+        mask >>= (i <= (mask >> 1)) & (mask > 1);
+    }
+    while (i > 0) {
+        state = state * MULT + inc;
+        const uint64_t hi = (uint64_t)(state >> 64), lo = (uint64_t)state;
+        const uint64_t out = rotr64(hi ^ lo, (unsigned)(hi >> 58));
+        buf = (uint32_t)(out >> 32);
+        i -= (((uint32_t)out & mask) <= i);
+        mask >>= (i <= (mask >> 1)) & (mask > 1);
+        if (i == 0) { has = 1; break; }
+        i -= ((buf & mask) <= i);
+        mask >>= (i <= (mask >> 1)) & (mask > 1);
+    }
+    st->pcg_state->state = state;
+    st->has_uint32 = has;
+    st->uinteger = buf;
+}
+
+/* Generic tier: same rejection replay, drawing 32-bit words through the
+ * bit generator's own next_uint32 function pointer (its next_uint32
+ * implements the identical low-then-buffered-high split, so this is
+ * exact for any bit generator numpy ships). */
+typedef uint32_t (*next32_fn)(void *);
+
+void advance_shuffle_next32(next32_fn next32, void *bg_state, uint64_t n) {
+    if (n < 2) return;
+    uint64_t i = n - 1;
+    uint64_t mask = i;
+    mask |= mask >> 1; mask |= mask >> 2; mask |= mask >> 4;
+    mask |= mask >> 8; mask |= mask >> 16; mask |= mask >> 32;
+    while (i > 0) {
+        const uint32_t draw = next32(bg_state);
+        i -= ((draw & mask) <= i);
+        mask >>= (i <= (mask >> 1)) & (mask > 1);
+    }
+}
+
+/* Fused all-fast tick: validate every action is in {-1,0,1}, then apply
+ * l += a, diag += a, row_sums += a in one pass.  Returns 0 on success
+ * (npos/nneg = generate/consume counts) or -(k+1) for the first invalid
+ * index k, in which case nothing was mutated. */
+long long quiet_apply(const long long *acts, long long *l, long long *diag,
+                      long long *rs, long long n,
+                      long long *npos, long long *nneg) {
+    long long pos = 0, neg = 0;
+    for (long long k = 0; k < n; k++) {
+        const long long a = acts[k];
+        if (a < -1 || a > 1) return -(k + 1);
+        pos += (a == 1);
+        neg += (a == -1);
+    }
+    for (long long k = 0; k < n; k++) {
+        const long long a = acts[k];
+        l[k] += a; diag[k] += a; rs[k] += a;
+    }
+    *npos = pos; *nneg = neg;
+    return 0;
+}
+"""
+
+_LL = ctypes.POINTER(ctypes.c_longlong)
+
+# compiled-library singleton: None until first build attempt, then the
+# CDLL or False (build failed / disabled)
+_lib: ctypes.CDLL | bool | None = None
+
+# probe verdicts per bit-generator class: "pcg64" | "next32" | "python"
+_TIER_CACHE: dict[type, str] = {}
+
+
+def _build_library() -> ctypes.CDLL | None:
+    """Compile the kernel source once per machine (cached .so) and load it.
+
+    Returns None when disabled (``REPRO_NO_CKERNEL``) or when no C
+    compiler is available — callers fall back to pure numpy/python.
+    """
+    global _lib
+    if _lib is not None:
+        return _lib if _lib is not False else None
+    if os.environ.get("REPRO_NO_CKERNEL"):
+        _lib = False
+        return None
+    try:
+        digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+        cache = Path(tempfile.gettempdir()) / f"repro_ckernel_{digest}"
+        so = cache / "kernel.so"
+        if not so.exists():
+            cache.mkdir(parents=True, exist_ok=True)
+            csrc = cache / "kernel.c"
+            csrc.write_text(_C_SOURCE)
+            tmp_so = cache / f"kernel.{os.getpid()}.so"
+            for cc in ("cc", "gcc", "clang"):
+                try:
+                    res = subprocess.run(
+                        [cc, "-O3", "-shared", "-fPIC", "-o", str(tmp_so), str(csrc)],
+                        capture_output=True,
+                        timeout=120,
+                    )
+                except (OSError, subprocess.TimeoutExpired):
+                    continue
+                if res.returncode == 0:
+                    break
+            else:
+                _lib = False
+                return None
+            os.replace(tmp_so, so)  # atomic vs concurrent worker builds
+        lib = ctypes.CDLL(str(so))
+        lib.advance_shuffle_pcg64.argtypes = [ctypes.c_void_p, ctypes.c_uint64]
+        lib.advance_shuffle_pcg64.restype = None
+        lib.advance_shuffle_next32.argtypes = [
+            ctypes.c_void_p,
+            ctypes.c_void_p,
+            ctypes.c_uint64,
+        ]
+        lib.advance_shuffle_next32.restype = None
+        lib.quiet_apply.argtypes = [_LL, _LL, _LL, _LL, ctypes.c_longlong, _LL, _LL]
+        lib.quiet_apply.restype = ctypes.c_longlong
+    except Exception:
+        _lib = False
+        return None
+    _lib = lib
+    return lib
+
+
+def kernel_available() -> bool:
+    """True iff the compiled kernel library is loadable on this machine."""
+    return _build_library() is not None
+
+
+def _states_equal(a, b) -> bool:
+    """Deep equality of bit-generator ``.state`` dicts (arrays inside)."""
+    if isinstance(a, dict):
+        return (
+            isinstance(b, dict)
+            and a.keys() == b.keys()
+            and all(_states_equal(a[k], b[k]) for k in a)
+        )
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(a, b)
+    return a == b
+
+
+# (permutation size, 32-bit pre-draws to desync the uinteger buffer)
+_PROBE_CASES = ((3, 0), (17, 1), (64, 0), (255, 2), (1000, 3), (100003, 1))
+
+
+def _probe(bitgen_cls, advance) -> bool:
+    """Replay real permutations and compare full state dicts vs the kernel."""
+    try:
+        for off, (m, pre) in enumerate(_PROBE_CASES):
+            ref = np.random.Generator(bitgen_cls(seed=90210 + off))
+            cand = np.random.Generator(bitgen_cls(seed=90210 + off))
+            if pre:
+                # odd 32-bit consumption leaves a buffered high half —
+                # the kernel must pick it up exactly where numpy would
+                ref.integers(0, 3, size=pre)
+                cand.integers(0, 3, size=pre)
+            ref.permutation(m)
+            advance(cand, m)
+            if not _states_equal(ref.bit_generator.state, cand.bit_generator.state):
+                return False
+    except Exception:
+        return False
+    return True
+
+
+def _select_tier(lib, bitgen_cls) -> str:
+    if bitgen_cls is np.random.PCG64:
+
+        def _adv_raw(gen, m):
+            lib.advance_shuffle_pcg64(gen.bit_generator.ctypes.state_address, m)
+
+        if _probe(bitgen_cls, _adv_raw):
+            return "pcg64"
+
+    def _adv_generic(gen, m):
+        cif = gen.bit_generator.ctypes
+        lib.advance_shuffle_next32(
+            ctypes.cast(cif.next_uint32, ctypes.c_void_p), cif.state, m
+        )
+
+    if _probe(bitgen_cls, _adv_generic):
+        return "next32"
+    return "python"
+
+
+class PermutationSkipper:
+    """Advance a bound Generator exactly as ``rng.permutation(n)`` would.
+
+    ``skip(n)`` leaves ``rng.bit_generator.state`` bit-identical to a
+    real ``rng.permutation(n)`` call without materialising the array.
+    The implementation tier (``"pcg64"``, ``"next32"`` or ``"python"``)
+    is chosen once per bit-generator class after an exactness probe; the
+    ``python`` tier simply draws and discards the permutation, so the
+    skipper is always safe to use.
+
+    Pass ``kernel="off"`` to force the python tier (used by the
+    fallback-equivalence tests and as an escape hatch).
+    """
+
+    def __init__(self, rng: np.random.Generator, *, kernel: str = "auto") -> None:
+        if kernel not in ("auto", "off"):
+            raise ValueError(f"kernel must be 'auto' or 'off', got {kernel!r}")
+        self.rng = rng
+        self.tier = "python"
+        self._fn = None
+        if kernel == "off":
+            return
+        lib = _build_library()
+        if lib is None:
+            return
+        bg = rng.bit_generator
+        cls = type(bg)
+        tier = _TIER_CACHE.get(cls)
+        if tier is None:
+            tier = _select_tier(lib, cls)
+            _TIER_CACHE[cls] = tier
+        self.tier = tier
+        if tier == "pcg64":
+            # the state struct address is fixed for the bitgen's lifetime
+            self._addr = bg.ctypes.state_address
+            self._fn = lib.advance_shuffle_pcg64
+        elif tier == "next32":
+            self._next32 = ctypes.cast(bg.ctypes.next_uint32, ctypes.c_void_p)
+            self._state = bg.ctypes.state
+            self._fn = lib.advance_shuffle_next32
+
+    def skip(self, n: int) -> None:
+        """Consume exactly the draws of one ``permutation(n)`` call."""
+        if n < 2:
+            return  # a 0/1-element shuffle draws nothing
+        tier = self.tier
+        # the 32-bit rejection scheme only covers ranges up to UINT32_MAX
+        if tier == "pcg64" and n - 1 <= 0xFFFFFFFF:
+            self._fn(self._addr, n)
+        elif tier == "next32" and n - 1 <= 0xFFFFFFFF:
+            self._fn(self._next32, self._state, n)
+        else:
+            self.rng.permutation(n)
+
+
+def _quiet_apply_numpy(acts, l, diag, row_sums):  # noqa: E741 - paper symbol
+    bad = (acts < -1) | (acts > 1)
+    if bad.any():
+        k = int(np.nonzero(bad)[0][0])
+        raise ValueError(f"invalid action {int(acts[k])} for processor {k}")
+    l += acts
+    diag += acts
+    row_sums += acts
+    return int(np.count_nonzero(acts == 1)), int(np.count_nonzero(acts == -1))
+
+
+def quiet_apply(actions, l, diag, row_sums, *, use_kernel=True):  # noqa: E741
+    """Validate + apply one all-fast ±1 tick in a single fused pass.
+
+    Adds ``actions`` elementwise to the load vector, the own-class
+    diagonal and the row-sum cache, returning ``(n_generated,
+    n_consumed)``.  Raises :class:`ValueError` on the first out-of-range
+    action with the scalar engine's exact message — and in that case
+    mutates nothing (the caller has not advanced the RNG yet either, so
+    a failed tick leaves the engine untouched, matching the scalar
+    sweep's validate-before-anything order).
+    """
+    acts = np.ascontiguousarray(actions, dtype=np.int64)
+    lib = _build_library() if use_kernel else None
+    if lib is None:
+        return _quiet_apply_numpy(acts, l, diag, row_sums)
+    npos = ctypes.c_longlong(0)
+    nneg = ctypes.c_longlong(0)
+    rc = lib.quiet_apply(
+        acts.ctypes.data_as(_LL),
+        l.ctypes.data_as(_LL),
+        diag.ctypes.data_as(_LL),
+        row_sums.ctypes.data_as(_LL),
+        len(acts),
+        ctypes.byref(npos),
+        ctypes.byref(nneg),
+    )
+    if rc < 0:
+        k = -int(rc) - 1
+        raise ValueError(f"invalid action {int(acts[k])} for processor {k}")
+    return int(npos.value), int(nneg.value)

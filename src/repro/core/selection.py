@@ -55,9 +55,12 @@ class GlobalRandomSelector:
         if not 1 <= delta < self.n:
             raise ValueError(f"need 1 <= delta < n, got delta={delta}, n={self.n}")
         # draw from 0..n-2 and shift ids >= initiator by one: uniform
-        # over the n-1 others without rejection sampling
+        # over the n-1 others without rejection sampling (in-place shift
+        # — this runs once per balancing op, thousands of times per
+        # second on event-dense workloads)
         picks = rng.choice(self.n - 1, size=delta, replace=False)
-        return np.where(picks >= initiator, picks + 1, picks)
+        picks[picks >= initiator] += 1
+        return picks
 
 
 class NeighborhoodSelector:

@@ -86,23 +86,56 @@ class FactorTrigger:
             return TriggerDecision.DECREASE
         return TriggerDecision.NONE
 
+    def quiet_interval(
+        self, l_old: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Integer quiet band per processor: ``(lo, hi)``, both exclusive.
+
+        For *integer* own-loads the trigger is a pure threshold test:
+        ``check(own, old) is NONE``  iff  ``lo < own < hi``.  The bounds
+        come from the same IEEE-double products as :meth:`check` — for an
+        integer ``own`` and a float threshold ``x``, ``own >= x`` iff
+        ``own >= ceil(x)`` and ``own <= x`` iff ``own <= floor(x)``, and
+        ``ceil``/``floor`` of a float64 are exact — so the band agrees
+        with the scalar method bit for bit, not approximately (pinned by
+        the sweep + hypothesis property in ``tests/core/test_triggers.py``).
+
+        Bands let the engines classify a whole network in one fused pass
+        (growth and decrease tests for both post-action loads out of one
+        band computation) and let the columnar engine bound how many ±1
+        ticks a processor can absorb before re-classification is needed:
+        the band margin *is* the deep-quiet horizon (see
+        ``docs/PERFORMANCE.md``).
+        """
+        old = np.atleast_1d(np.asarray(l_old, dtype=np.int64))
+        # growth fires iff own >= hi; the minimum keeps a pathological
+        # f * old overflow (inf) from wrapping in the int64 cast — loads
+        # can never reach 2**62, so the clamp preserves "never fires"
+        hi = np.minimum(np.ceil(self.f * old), 2.0**62).astype(np.int64)
+        # decrease fires iff own <= lo
+        lo = np.floor(old / self.f).astype(np.int64)
+        if self.strict:
+            return lo, hi
+        np.maximum(hi, old + 1, out=hi)  # guarded growth also needs own > old
+        np.minimum(lo, old - 1, out=lo)  # guarded decrease also needs own < old
+        # guarded l_old == 0: fire (growth) iff own >= 1, never decrease
+        zero = old == 0
+        lo = np.where(zero, np.int64(-(2**62)), lo)
+        hi = np.where(zero, np.int64(1), hi)
+        return lo, hi
+
     def fires_many(self, own_load: np.ndarray, l_old: np.ndarray) -> np.ndarray:
         """Vectorized ``check(...) is not NONE`` over whole arrays.
 
         Evaluates the trigger condition for every processor in one numpy
-        pass — the engine's fast path uses this to find the processors
-        that need no balancing this tick.  The float comparisons are the
-        same IEEE-double operations as :meth:`check`, element for
-        element, so the boolean result agrees with the scalar method
-        exactly (the equivalence property test relies on this).
+        pass — the engines use this (via :meth:`quiet_interval`) to find
+        the processors that need no balancing this tick.  ``own_load``
+        must be integer-valued; the result then agrees with the scalar
+        method exactly (the equivalence property test relies on this).
         """
         own = np.asarray(own_load)
-        old = np.asarray(l_old)
-        if self.strict:
-            return (own >= self.f * old) | (own <= old / self.f)
-        growth = (own >= self.f * old) & (own > old)
-        decrease = (own <= old / self.f) & (own < old)
-        return np.where(old == 0, own >= 1, growth | decrease)
+        lo, hi = self.quiet_interval(l_old)
+        return (own <= lo) | (own >= hi)
 
 
 class AdaptiveTrigger:

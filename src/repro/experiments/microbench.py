@@ -1,9 +1,16 @@
 """Engine tick microbenchmarks: the ``repro bench`` harness.
 
-Times raw :class:`~repro.core.engine.Engine` ticks — not experiment
-drivers — across network sizes and three workload profiles, and writes
-a machine-readable ``BENCH_engine.json`` so every PR leaves a perf
-trajectory behind (schema below).
+Times raw engine ticks — not experiment drivers — across network sizes
+and three workload profiles, and writes a machine-readable
+``BENCH_engine.json`` so every PR leaves a perf trajectory behind
+(schema below).
+
+Three engine variants share the harness: ``columnar`` (the
+:class:`~repro.core.columnar.ColumnarEngine` pass pipeline — the
+headline), ``fast`` (:class:`~repro.core.engine.Engine` with the PR 3
+vectorized fast path) and ``scalar`` (the reference sweep).  All three
+are bit-identical on every workload, so cross-engine rows double as an
+equality check: the harness asserts the final load vectors match.
 
 Profiles
 --------
@@ -52,18 +59,37 @@ JSON schema (``repro.bench_engine.v1``)
       "python": "3.11.7", "numpy": "1.26.2",
       "params": {"f": 1.3, "delta": 2, "C": 4,
                  "engine_seed": 7, "workload_seed": 123},
+      "profile_policy": {"quiet_only_above": 4096},
       "runs": [
-        {"n": 1024, "profile": "quiet", "warmup": 0, "ticks": 200,
+        {"n": 1024, "profile": "quiet", "engine": "columnar",
+         "warmup": 0, "ticks": 200,
          "ticks_per_sec": ..., "total_ops": ..., "events": {...},
          "peak_rss_bytes": ...,          # process high-water, see note
-         "sections": {"step.classify": {"count":..., "total_ns":...,
-                                        "mean_ns":...}, ...}},
+         "sections": {"pipeline.classify": {"count":..., "total_ns":...,
+                                            "mean_ns":...}, ...}},
         ...
       ],
+      "fastpath": {"max_n": 4096,
+                   "runs": [...engine "fast" rows, same shape...],
+                   "speedup": {"quiet@1024": 3.1, ...},
+                   "extrapolated": {"quiet@100000": {
+                       "fast_ticks_per_sec_est": ...,
+                       "speedup_est": ...}, ...}},
       "baseline": {"rev": "...",
                    "runs": [...same shape, no sections...],
                    "speedup": {"quiet@1024": 14.0, ...}}
     }
+
+Above ``profile_policy.quiet_only_above`` processors only the quiet
+profile is measured: the event-dense profiles go through the scalar
+per-event handlers whose cost is O(events·python), so a single
+warmed-up stationary tick at n = 10⁵ takes seconds and measures
+nothing the n = 4096 row doesn't already.  The ``fastpath`` section
+re-runs the grid (capped at ``max_n``) on the PR 3 fast-path engine
+for speedup columns, asserting final-state equality with the columnar
+rows; for the larger quiet sizes the fast-path rate is extrapolated
+from its largest measured size (its per-tick cost is O(n), so rate
+scales as 1/n — the extrapolation is marked as such).
 
 ``peak_rss_bytes`` is ``ru_maxrss`` — the high-water mark of the
 process that ran the point.  On the default ``native`` backend every
@@ -91,13 +117,16 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.core.columnar import ColumnarEngine
 from repro.core.engine import Engine, EngineConfig
 from repro.observability import Profiler
 from repro.params import LBParams
 
 __all__ = [
     "PROFILES",
+    "ENGINES",
     "DEFAULT_NS",
+    "QUIET_ONLY_ABOVE",
     "bench_report",
     "load_engine_module_at_rev",
     "run_microbench",
@@ -105,7 +134,10 @@ __all__ = [
 ]
 
 PROFILES = ("quiet", "stationary", "growth")
-DEFAULT_NS = (64, 256, 1024, 4096)
+ENGINES = ("columnar", "fast", "scalar")
+DEFAULT_NS = (64, 256, 1024, 4096, 100_000, 1_000_000)
+#: above this n, only the quiet profile is benchmarked (see module doc)
+QUIET_ONLY_ABOVE = 4096
 _QUIET_LOAD = 40
 
 _REPO_ROOT = Path(__file__).resolve().parents[3]
@@ -114,7 +146,10 @@ _REPO_ROOT = Path(__file__).resolve().parents[3]
 def _tick_budget(n: int, profile: str) -> tuple[int, int]:
     """(warmup, measured ticks) keeping each run in the seconds range."""
     if profile == "quiet":
-        return 0, 200
+        # a short warmup keeps the one-time kernel compile/probe of
+        # repro.core.rngadvance (and the first-tick horizon probe) out
+        # of the timing — it dominates a short --ticks smoke run
+        return 5, 200
     if profile == "stationary":
         return 200, max(30, 20480 // n)
     if profile == "growth":
@@ -122,13 +157,31 @@ def _tick_budget(n: int, profile: str) -> tuple[int, int]:
     raise ValueError(f"unknown profile {profile!r} (want one of {PROFILES})")
 
 
-def _make_actions(
-    profile: str, n: int, total: int, workload_seed: int
-) -> np.ndarray:
+class _AlternatingActions:
+    """Quiet-profile action stream without the (ticks, n) matrix.
+
+    Indexable like the 2-D array it replaces, but holds just two cached
+    rows (a full materialisation is ``8 · ticks · n`` bytes — 1.6 GB at
+    n = 10⁶ × 200 ticks, which would dwarf the engine itself in the
+    peak-RSS column this report documents).
+    """
+
+    def __init__(self, n: int, total: int) -> None:
+        self._con = np.full(n, -1, dtype=np.int64)
+        self._gen = np.ones(n, dtype=np.int64)
+        self._total = total
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __getitem__(self, t: int) -> np.ndarray:
+        return self._con if t % 2 == 0 else self._gen
+
+
+def _make_actions(profile: str, n: int, total: int, workload_seed: int):
     if profile == "quiet":
-        acts = np.ones((total, n), dtype=np.int64)
-        acts[0::2] = -1  # consume tick, generate tick, ...
-        return acts
+        # consume tick, generate tick, ...
+        return _AlternatingActions(n, total)
     gen = 0.45 if profile == "stationary" else 0.55
     wr = np.random.default_rng(workload_seed)
     return (wr.random((total, n)) < gen).astype(np.int64) * 2 - 1
@@ -141,8 +194,14 @@ def _prepare_engine(engine: Any, profile: str, n: int) -> None:
     # pre-balanced uniform state: L own-class packets everywhere, the
     # trigger reference in equilibrium -> the +-1 oscillation stays
     # inside the factor-f band and no borrowing ever happens
-    for i in range(n):
-        engine.d[i, i] = _QUIET_LOAD
+    if hasattr(engine.d, "diag"):
+        # ledger engines: set the columns directly (the per-element
+        # shim below is O(n) python calls — seconds at n = 10⁶)
+        engine.d.diag[:] = _QUIET_LOAD
+        engine.d.row_sums[:] = _QUIET_LOAD
+    else:
+        for i in range(n):
+            engine.d[i, i] = _QUIET_LOAD
     engine.l[:] = _QUIET_LOAD
     engine.l_old[:] = _QUIET_LOAD
 
@@ -157,19 +216,28 @@ def run_microbench(
     warmup: int | None = None,
     ticks: int | None = None,
     engine_factory: Callable[..., Any] | None = None,
+    engine: str | None = None,
     fast_path: bool = True,
     profile_sections: bool = False,
 ) -> dict[str, Any]:
     """Time ``ticks`` engine steps for one (n, profile) point.
 
-    ``engine_factory(config, rng=seed)`` defaults to the current
-    :class:`Engine`; pass a reconstructed historical engine class to
+    ``engine`` picks a variant by name — ``"columnar"``
+    (:class:`~repro.core.columnar.ColumnarEngine`), ``"fast"``
+    (:class:`Engine` with the vectorized fast path) or ``"scalar"``
+    (``fast_path=False``); the default derives from ``fast_path`` for
+    backward compatibility.  ``engine_factory(config, rng=seed)``
+    overrides both; pass a reconstructed historical engine class to
     benchmark an old code path on the identical action stream.
     Returns a plain-data record (see module docstring schema) plus the
     final ``l`` vector under ``"_l"`` for cross-engine equality checks
     (stripped before serialisation).
     """
     params = params or LBParams(f=1.3, delta=2, C=4)
+    if engine is None:
+        engine = "fast" if fast_path else "scalar"
+    elif engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (want one of {ENGINES})")
     default_warmup, default_ticks = _tick_budget(n, profile)
     warmup = default_warmup if warmup is None else warmup
     ticks = default_ticks if ticks is None else ticks
@@ -177,7 +245,9 @@ def run_microbench(
     acts = _make_actions(profile, n, warmup + ticks, workload_seed)
     # the current EngineConfig works for reconstructed engines too:
     # they read the shared fields and ignore fast_path
-    config = EngineConfig(n=n, params=params, fast_path=fast_path)
+    config = EngineConfig(
+        n=n, params=params, fast_path=engine != "scalar"
+    )
     profiler = Profiler() if profile_sections else None
     if engine_factory is not None:
         if profiler is not None:
@@ -185,10 +255,9 @@ def run_microbench(
                 "profile_sections is only supported on the current engine"
             )
         eng = engine_factory(config, rng=engine_seed)
-    elif profiler is not None:
-        eng = Engine(config, rng=engine_seed, profiler=profiler)
     else:
-        eng = Engine(config, rng=engine_seed)
+        cls = ColumnarEngine if engine == "columnar" else Engine
+        eng = cls(config, rng=engine_seed, profiler=profiler)
     _prepare_engine(eng, profile, n)
 
     for t in range(warmup):
@@ -201,6 +270,7 @@ def run_microbench(
     record: dict[str, Any] = {
         "n": n,
         "profile": profile,
+        "engine": engine if engine_factory is None else "custom",
         "warmup": warmup,
         "ticks": ticks,
         "ticks_per_sec": round(ticks / elapsed, 2),
@@ -285,14 +355,16 @@ def git_rev(repo_root: Path | None = None) -> str:
 
 
 def _bench_point(task: tuple) -> dict[str, Any]:
-    """One (n, profile) measurement (module-level so it pickles)."""
-    n, profile, params, engine_seed, workload_seed = task
+    """One (n, profile, engine) measurement (module-level so it pickles)."""
+    n, profile, params, engine_seed, workload_seed, engine, ticks = task
     return run_microbench(
         n,
         profile,
         params=params,
         engine_seed=engine_seed,
         workload_seed=workload_seed,
+        engine=engine,
+        ticks=ticks,
         profile_sections=True,
     )
 
@@ -302,6 +374,9 @@ def bench_report(
     *,
     profiles: tuple[str, ...] = PROFILES,
     params: LBParams | None = None,
+    engine: str = "columnar",
+    fastpath_max_n: int = 4096,
+    ticks: int | None = None,
     baseline_rev: str | None = None,
     baseline_max_n: int = 1024,
     engine_seed: int = 7,
@@ -316,13 +391,20 @@ def bench_report(
     ``REPRO_JOBS``) in ascending-``n`` order — on the default
     ``native`` backend the RSS high-water mark column therefore reads
     as a per-size upper bound; the backend that actually executed the
-    grid is recorded under ``"backend"``.  With ``baseline_rev``, the
-    dense engine of that revision is re-run on identical action streams
-    for every (profile, n <= baseline_max_n) point; final loads must
-    match the current engine's bit-for-bit or the report raises.  The
-    baseline grid always runs in-process: the reconstructed historical
-    module exists only in this interpreter and cannot cross a pickle
-    boundary.
+    grid is recorded under ``"backend"``.  Above ``QUIET_ONLY_ABOVE``
+    processors only the quiet profile is measured (see module doc).
+    ``ticks`` overrides the per-profile tick budget (CI smoke runs).
+
+    When ``engine="columnar"`` and ``fastpath_max_n > 0``, the grid is
+    re-run (capped at ``fastpath_max_n``) on the PR 3 fast-path engine
+    under ``"fastpath"``; paired rows must reach identical final loads
+    or the report raises, and quiet rows beyond the cap get a 1/n
+    extrapolation of the fast-path rate.  With ``baseline_rev``, the
+    dense engine of that revision is additionally re-run for every
+    (profile, n <= baseline_max_n) point with the same equality check.
+    The baseline grid always runs in-process: the reconstructed
+    historical module exists only in this interpreter and cannot cross
+    a pickle boundary.
     """
     from repro.simulation.backends import get_client
 
@@ -340,14 +422,26 @@ def bench_report(
             "workload_seed": workload_seed,
         },
         "quiet_load": _QUIET_LOAD,
+        "profile_policy": {"quiet_only_above": QUIET_ONLY_ABOVE},
         "runs": [],
     }
-    tasks = [
-        (n, profile, params, engine_seed, workload_seed)
-        for n in sorted(ns)
-        for profile in profiles
-    ]
+
+    def _grid(sizes: tuple[int, ...], eng_name: str) -> list[tuple]:
+        return [
+            (n, profile, params, engine_seed, workload_seed, eng_name, ticks)
+            for n in sorted(sizes)
+            for profile in profiles
+            if profile == "quiet" or n <= QUIET_ONLY_ABOVE
+        ]
+
+    tasks = _grid(tuple(ns), engine)
+    fast_tasks = (
+        _grid(tuple(x for x in ns if x <= fastpath_max_n), "fast")
+        if engine == "columnar" and fastpath_max_n > 0
+        else []
+    )
     finals: dict[tuple[str, int], list[int]] = {}
+    fast_runs: list[dict[str, Any]] = []
     with get_client(backend, jobs=jobs) as client:
         # chunksize=1: one (n, profile) point per dispatch, so a
         # parallel backend interleaves sizes instead of striping them
@@ -356,7 +450,50 @@ def bench_report(
         ):
             finals[(task[1], task[0])] = rec.pop("_l")
             doc["runs"].append(rec)
+        for task, rec in zip(
+            fast_tasks,
+            client.map_ordered(_bench_point, fast_tasks, chunksize=1),
+        ):
+            if rec.pop("_l") != finals[(task[1], task[0])]:
+                raise AssertionError(
+                    f"fast-path engine diverged from {engine} on "
+                    f"profile={task[1]} n={task[0]}"
+                )
+            fast_runs.append(rec)
         doc["backend"] = client.used_backend
+
+    if fast_tasks:
+        fast_tps = {
+            (r["profile"], r["n"]): r["ticks_per_sec"] for r in fast_runs
+        }
+        speedup = {
+            f"{r['profile']}@{r['n']}": round(
+                r["ticks_per_sec"] / fast_tps[(r["profile"], r["n"])], 2
+            )
+            for r in doc["runs"]
+            if (r["profile"], r["n"]) in fast_tps
+        }
+        # fast-path cost per tick is O(n): extrapolate its rate from
+        # the largest measured size for the quiet rows beyond the cap
+        extrapolated: dict[str, Any] = {}
+        quiet_ns = [n for p, n in fast_tps if p == "quiet"]
+        if quiet_ns:
+            ref_n = max(quiet_ns)
+            ref_tps = fast_tps[("quiet", ref_n)]
+            for r in doc["runs"]:
+                if r["profile"] != "quiet" or r["n"] <= ref_n:
+                    continue
+                est = ref_tps * ref_n / r["n"]
+                extrapolated[f"quiet@{r['n']}"] = {
+                    "fast_ticks_per_sec_est": round(est, 2),
+                    "speedup_est": round(r["ticks_per_sec"] / est, 2),
+                }
+        doc["fastpath"] = {
+            "max_n": fastpath_max_n,
+            "runs": fast_runs,
+            "speedup": speedup,
+            "extrapolated": extrapolated,
+        }
 
     if baseline_rev:
         module = load_engine_module_at_rev(baseline_rev)
@@ -367,12 +504,15 @@ def bench_report(
         speedup = {}
         for n in sorted(x for x in ns if x <= baseline_max_n):
             for profile in profiles:
+                if profile != "quiet" and n > QUIET_ONLY_ABOVE:
+                    continue
                 rec = run_microbench(
                     n,
                     profile,
                     params=params,
                     engine_seed=engine_seed,
                     workload_seed=workload_seed,
+                    ticks=ticks,
                     engine_factory=lambda config, rng: module.Engine(
                         config, rng=rng
                     ),
@@ -410,23 +550,41 @@ def render_report(doc: dict[str, Any]) -> str:
     """ASCII summary of a bench document."""
     from repro.experiments.report import render_table
 
+    fastpath = doc.get("fastpath", {})
+    fast_speedup = fastpath.get("speedup", {})
+    extrapolated = fastpath.get("extrapolated", {})
     speedup = doc.get("baseline", {}).get("speedup", {})
     rows = []
     for r in doc["runs"]:
         key = f"{r['profile']}@{r['n']}"
+        vs_fast = fast_speedup.get(key, "-")
+        if key in extrapolated:
+            vs_fast = f"~{extrapolated[key]['speedup_est']}"
         rows.append(
             [
                 r["n"],
                 r["profile"],
+                r.get("engine", "fast"),
                 r["ticks"],
                 r["ticks_per_sec"],
                 r["total_ops"],
                 f"{r['peak_rss_bytes'] / 2**20:.0f}",
+                vs_fast,
                 speedup.get(key, "-"),
             ]
         )
     table = render_table(
-        ["n", "profile", "ticks", "ticks/s", "ops", "rss MiB", "vs base"],
+        [
+            "n",
+            "profile",
+            "engine",
+            "ticks",
+            "ticks/s",
+            "ops",
+            "rss MiB",
+            "vs fast",
+            "vs base",
+        ],
         rows,
     )
     head = (
@@ -437,4 +595,11 @@ def render_report(doc: dict[str, Any]) -> str:
     )
     if "baseline" in doc:
         head += f"  baseline={doc['baseline'].get('rev')}"
-    return head + "\n\n" + table
+    out = head + "\n\n" + table
+    if extrapolated:
+        out += (
+            "\n\n~ marks speedups vs a 1/n extrapolation of the "
+            "fast-path rate\n  from its largest measured size "
+            f"(n={fastpath.get('max_n')})."
+        )
+    return out

@@ -137,6 +137,7 @@ def run_simulation(
     profiler: Profiler | None = None,
     monitors: MonitorSuite | None = None,
     spans: SpanRecorder | None = None,
+    engine_cls: type[Engine] | None = None,
 ) -> RunResult:
     """Convenience one-shot: build engine + simulation, run, package.
 
@@ -148,9 +149,14 @@ def run_simulation(
         ...                      UniformRandom(8, 0.6, 0.4), steps=50, seed=1)
         >>> res.loads.shape
         (51, 8)
+
+    ``engine_cls`` swaps the engine implementation (any
+    :class:`~repro.core.engine.Engine` subclass with the same
+    constructor, e.g. :class:`~repro.core.columnar.ColumnarEngine` for
+    large-n runs); results are bit-identical across implementations.
     """
     factory = seed if isinstance(seed, RngFactory) else RngFactory(seed)
-    engine = Engine(
+    engine = (engine_cls or Engine)(
         EngineConfig(
             n=n,
             params=params,

@@ -1,0 +1,144 @@
+"""RNG fast-forward and fused quiet-apply kernels: exactness contracts.
+
+:class:`~repro.core.rngadvance.PermutationSkipper` must leave the bound
+generator's full bit-generator state exactly where a real
+``rng.permutation(n)`` call would — for every n, with and without a
+buffered 32-bit high half pending — and
+:func:`~repro.core.rngadvance.quiet_apply` must match the pure-numpy
+fallback bit for bit, including the no-mutation-on-error guarantee.
+The kernels are allowed to be *absent* (no C compiler, or
+``REPRO_NO_CKERNEL``); every behaviour here must hold on the python
+fallbacks too, which the forced-fallback tests pin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import rngadvance
+from repro.core.rngadvance import (
+    PermutationSkipper,
+    _states_equal,
+    quiet_apply,
+)
+
+
+def _state(rng):
+    return rng.bit_generator.state
+
+
+class TestPermutationSkipper:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 7, 17, 64, 255, 1000, 4096])
+    def test_skip_matches_real_permutation(self, n):
+        ref = np.random.default_rng(42)
+        cand = np.random.default_rng(42)
+        ref.permutation(n)
+        PermutationSkipper(cand).skip(n)
+        assert _states_equal(_state(ref), _state(cand))
+
+    @pytest.mark.parametrize("pre", [1, 2, 3])
+    def test_skip_with_desynced_uint32_buffer(self, pre):
+        # odd 32-bit consumption leaves numpy's buffered high half
+        # pending; the skip must consume draws from exactly there
+        ref = np.random.default_rng(7)
+        cand = np.random.default_rng(7)
+        ref.integers(0, 3, size=pre)
+        cand.integers(0, 3, size=pre)
+        skipper = PermutationSkipper(cand)
+        for n in (5, 100, 1000):
+            ref.permutation(n)
+            skipper.skip(n)
+        assert _states_equal(_state(ref), _state(cand))
+
+    def test_skip_interleaved_with_real_draws(self):
+        ref = np.random.default_rng(9)
+        cand = np.random.default_rng(9)
+        skipper = PermutationSkipper(cand)
+        for n in (12, 300, 33):
+            ref.permutation(n)
+            skipper.skip(n)
+            assert ref.integers(0, 10**9) == cand.integers(0, 10**9)
+        assert _states_equal(_state(ref), _state(cand))
+
+    def test_kernel_off_forces_python_tier(self):
+        skipper = PermutationSkipper(np.random.default_rng(0), kernel="off")
+        assert skipper.tier == "python"
+
+    def test_python_tier_is_exact(self):
+        ref = np.random.default_rng(11)
+        cand = np.random.default_rng(11)
+        skipper = PermutationSkipper(cand, kernel="off")
+        for n in (3, 50, 777):
+            ref.permutation(n)
+            skipper.skip(n)
+        assert _states_equal(_state(ref), _state(cand))
+
+    def test_missing_library_degrades_to_python(self, monkeypatch):
+        monkeypatch.setattr(rngadvance, "_lib", False)  # "probed, absent"
+        skipper = PermutationSkipper(np.random.default_rng(1))
+        assert skipper.tier == "python"
+        ref = np.random.default_rng(1)
+        ref.permutation(64)
+        skipper.skip(64)
+        assert _states_equal(_state(ref), _state(skipper.rng))
+
+    def test_rejects_unknown_kernel_mode(self):
+        with pytest.raises(ValueError, match="kernel"):
+            PermutationSkipper(np.random.default_rng(0), kernel="maybe")
+
+    def test_tier_is_probed_not_assumed(self):
+        # whatever tier was selected, it passed the full-state probe;
+        # here we just pin that the attribute is one of the known tiers
+        skipper = PermutationSkipper(np.random.default_rng(0))
+        assert skipper.tier in ("pcg64", "next32", "python")
+
+
+def _fresh_state(n=16, seed=3):
+    wr = np.random.default_rng(seed)
+    l = wr.integers(5, 50, size=n)  # noqa: E741 - paper symbol
+    diag = l.copy()
+    row_sums = l.copy()
+    return l, diag, row_sums
+
+
+class TestQuietApply:
+    @pytest.mark.parametrize("use_kernel", [True, False])
+    def test_applies_and_counts(self, use_kernel):
+        l, diag, row_sums = _fresh_state()  # noqa: E741
+        acts = np.array([1, -1, 0, 1] * 4, dtype=np.int64)
+        before = l.copy()
+        npos, nneg = quiet_apply(
+            acts, l, diag, row_sums, use_kernel=use_kernel
+        )
+        assert (npos, nneg) == (8, 4)
+        assert np.array_equal(l, before + acts)
+        assert np.array_equal(diag, before + acts)
+        assert np.array_equal(row_sums, before + acts)
+
+    def test_kernel_matches_numpy_fallback(self):
+        acts = np.random.default_rng(0).integers(-1, 2, size=257)
+        a = _fresh_state(257)
+        b = _fresh_state(257)
+        ra = quiet_apply(acts, *a, use_kernel=True)
+        rb = quiet_apply(acts, *b, use_kernel=False)
+        assert ra == rb
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    @pytest.mark.parametrize("use_kernel", [True, False])
+    def test_invalid_action_reports_first_index_and_mutates_nothing(
+        self, use_kernel
+    ):
+        l, diag, row_sums = _fresh_state()  # noqa: E741
+        acts = np.zeros(16, dtype=np.int64)
+        acts[5] = 3
+        acts[11] = -2
+        snap = (l.copy(), diag.copy(), row_sums.copy())
+        with pytest.raises(
+            ValueError, match="invalid action 3 for processor 5"
+        ):
+            quiet_apply(acts, l, diag, row_sums, use_kernel=use_kernel)
+        assert np.array_equal(l, snap[0])
+        assert np.array_equal(diag, snap[1])
+        assert np.array_equal(row_sums, snap[2])

@@ -79,3 +79,70 @@ class TestStrictMode:
     def test_equal_loads_trigger_at_f1(self):
         t = FactorTrigger(1.0, strict=True)
         assert t.check(10, 10) is TriggerDecision.GROWTH
+
+
+class TestQuietInterval:
+    """The integer band (lo, hi) must agree with check()/fires_many().
+
+    ``quiet_interval`` is the classifier's (and the deep-quiet
+    horizon's) single source of truth: a processor is quiet iff
+    ``lo < own < hi`` with integer ``own``.  Exactness matters — one
+    off-by-one and the columnar engine fires (or skips) a balancing
+    operation the scalar sweep does not.
+    """
+
+    @pytest.mark.parametrize("strict", [False, True])
+    @pytest.mark.parametrize("f", [1.0, 1.1, 1.3, 1.5, 2.0, 2.5])
+    def test_band_matches_check_brute_force(self, f, strict):
+        import numpy as np
+
+        t = FactorTrigger(f, strict=strict)
+        olds = np.arange(0, 60)
+        lo, hi = t.quiet_interval(olds)
+        for old, lo_i, hi_i in zip(olds.tolist(), lo.tolist(), hi.tolist()):
+            for own in range(0, 130):
+                in_band = lo_i < own < hi_i
+                fired = t.check(own, old) is not TriggerDecision.NONE
+                assert in_band == (not fired), (
+                    f"f={f} strict={strict} old={old} own={own}: "
+                    f"band says quiet={in_band}, check fired={fired}"
+                )
+
+    def test_negative_own_probe_domain(self):
+        """The classifier probes ``own - 1``, which reaches -1 at own=0.
+
+        ``check`` rejects negatives, so the band fixes the contract
+        there: for ``old >= 1`` a negative own always fires (lo >= 0),
+        while the guarded ``old == 0`` band keeps ``own = -1`` quiet —
+        a starved processor in the idle zero state must not be pushed
+        through a DECREASE it cannot trigger in the scalar sweep.
+        """
+        import numpy as np
+
+        for f in (1.0, 1.3, 2.5):
+            lo, hi = FactorTrigger(f).quiet_interval(np.arange(0, 20))
+            assert lo[0] < -1 < hi[0]  # old == 0: own-1 probe stays quiet
+            assert (lo[1:] >= 0).all()  # old >= 1: negatives fire
+
+    @given(
+        f=st.floats(1.0, 4.0),
+        old=st.integers(0, 2000),
+        own=st.integers(0, 4000),
+    )
+    def test_band_matches_check_property(self, f, old, own):
+        import numpy as np
+
+        t = FactorTrigger(f)
+        lo, hi = t.quiet_interval(np.asarray([old]))
+        fired = t.check(own, old) is not TriggerDecision.NONE
+        assert (int(lo[0]) < own < int(hi[0])) == (not fired)
+
+    def test_fires_many_equals_band_complement(self):
+        import numpy as np
+
+        t = FactorTrigger(1.3)
+        old = np.arange(0, 40, dtype=np.int64)
+        own = np.arange(40, 0, -1, dtype=np.int64)
+        lo, hi = t.quiet_interval(old)
+        fires = t.fires_many(own, old)
+        assert np.array_equal(fires, ~((own > lo) & (own < hi)))

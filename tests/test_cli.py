@@ -258,6 +258,33 @@ class TestBackendErrors:
         assert "unknown backend 'bogus'" in err
         assert "native" in err
 
+    def test_bench_unknown_profile_exits_2_with_listing(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "--profile", "bogus", "--sizes", "8"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown profile 'bogus'" in err
+        assert "quiet, stationary, growth" in err  # the known-name listing
+
+
+class TestBenchSmokeFlags:
+    def test_single_size_profile_and_ticks(self, tmp_path, capsys):
+        import json
+
+        assert main([
+            "bench", "--profile", "quiet", "-n", "64", "--ticks", "10",
+            "--out", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        doc = json.loads((tmp_path / "BENCH_engine.json").read_text())
+        assert [r["profile"] for r in doc["runs"]] == ["quiet"]
+        assert doc["runs"][0]["n"] == 64
+        assert doc["runs"][0]["ticks"] == 10
+        assert doc["runs"][0]["engine"] == "columnar"
+        # the fast-path cross-check ran on the same narrowed grid
+        assert [r["engine"] for r in doc["fastpath"]["runs"]] == ["fast"]
+
 
 class TestServeCommand:
     def test_smoke_chaos_writes_schema_valid_service_json(
