@@ -24,12 +24,16 @@ Observability tools (see docs/OBSERVABILITY.md)::
     repro bench [--sizes 64,...,1000000 | -n N] [--profile quiet,...]
                 [--ticks T] [--baseline REV] [--out DIR]
                 [--backend native|multiprocessing] [--jobs N]
-    repro chaos [--n 32] [--horizon 80] [--crash-frac 0.1]
-                [--message-loss 0.01] [--out DIR]
+    repro chaos [--n 32] [--horizon 80] [--plan crash_burst|stragglers|
+                partition|lossy] [--crash-frac 0.1] [--message-loss 0.01]
+                [--out DIR] [--backend native|multiprocessing] [--jobs N]
+    repro churn [--smoke] [--n N] [--horizon H] [--topologies a,b,...]
+                [--churn-rates 0,0.1,...] [--skews 0,0.5,...] [--out DIR]
                 [--backend native|multiprocessing] [--jobs N]
     repro report [--engine sync|async] [--faulted] [--report-out run.html]
     repro report --compare REF.json CAND.json [--tolerance 0.75]
     repro report --service results/service.json [--report-out run.html]
+    repro report --dynamics results/dynamics.json [--report-out run.html]
     repro spans [--engine sync|async] [--faulted] | repro spans --trace-in t.ndjson
 
 Live service mode (see docs/SERVICE.md)::
@@ -72,8 +76,15 @@ artifacts.
 
 ``--engine async`` points ``trace`` / ``profile`` at the asynchronous
 engine (horizon in model time via ``--horizon``); ``repro chaos`` runs
-the crash-burst resilience experiment (:mod:`repro.experiments.resilience`,
+a named fault scenario (``--plan``; :mod:`repro.experiments.resilience`,
 docs/RESILIENCE.md) and writes ``results/resilience.json``.
+
+``repro churn`` runs the dynamic-network degradation study
+(:mod:`repro.experiments.dynamics`, docs/DYNAMICS.md): Theorem-4 band
+occupancy, worst normalised ratio and per-event recovery times over a
+``topologies x churn-rates x skews`` grid, written to schema-validated
+``results/dynamics.json`` (``--smoke`` is the tuned deterministic CI
+grid; ``repro report --dynamics`` renders a saved document).
 
 ``repro report`` runs one fully-observed run — conformance monitors,
 balancing-operation spans, metrics, profiler — and renders a
@@ -124,13 +135,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "profile",
             "bench",
             "chaos",
+            "churn",
             "serve",
             "report",
             "spans",
         ],
         help="artifact to regenerate, an observability tool "
-        "(trace/profile/bench/chaos/report/spans), or the live service "
-        "mode (serve)",
+        "(trace/profile/bench/chaos/churn/report/spans), or the live "
+        "service mode (serve)",
     )
     p.add_argument("--runs", type=int, default=None, help="runs per config (paper: 100)")
     p.add_argument("--trials", type=int, default=20_000, help="MC trials (fig6/theorem12)")
@@ -195,12 +207,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     # chaos options
     p.add_argument(
+        "--plan", type=str, default=None, metavar="NAME",
+        help="fault scenario (chaos; crash_burst|stragglers|partition|"
+        "lossy; default crash_burst)",
+    )
+    p.add_argument(
         "--crash-frac", type=float, default=0.1,
-        help="fraction of processors crashed in the burst (chaos)",
+        help="fraction of processors affected by the burst (chaos)",
     )
     p.add_argument(
         "--message-loss", type=float, default=0.01,
         help="per-message loss probability (chaos)",
+    )
+    # churn options (docs/DYNAMICS.md)
+    p.add_argument(
+        "--topologies", type=str, default=None, metavar="NAMES",
+        help="comma-separated base topologies for the degradation sweep "
+        "(churn; complete|ring|torus|hypercube|debruijn|random_regular)",
+    )
+    p.add_argument(
+        "--churn-rates", type=str, default=None, metavar="RATES",
+        help="comma-separated churn event rates per time unit (churn)",
+    )
+    p.add_argument(
+        "--skews", type=str, default=None, metavar="SIGMAS",
+        help="comma-separated log-normal speed-skew sigmas (churn)",
     )
     # serve options (docs/SERVICE.md)
     p.add_argument(
@@ -214,9 +245,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "(serve)",
     )
     p.add_argument(
-        "--traffic", choices=["poisson", "bursty", "diurnal"], default=None,
-        help="open-loop traffic profile (serve; default poisson, "
-        "bursty with --smoke)",
+        "--traffic", type=str, default=None, metavar="NAME",
+        help="open-loop traffic profile (serve; "
+        "poisson|bursty|diurnal; default poisson, bursty with --smoke)",
     )
     p.add_argument(
         "--rate", type=float, default=None,
@@ -238,6 +269,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--service", type=Path, default=None, metavar="SERVICE_JSON",
         help="render a saved service.json as the report's service-run "
+        "section (report)",
+    )
+    p.add_argument(
+        "--dynamics", type=Path, default=None, metavar="DYNAMICS_JSON",
+        help="render a saved dynamics.json as the report's degradation "
         "section (report)",
     )
     # bench options
@@ -345,6 +381,8 @@ def _run_one(cmd: str, args: argparse.Namespace) -> str:
         return _run_bench(args)
     if cmd == "chaos":
         return _run_chaos(args)
+    if cmd == "churn":
+        return _run_churn(args)
     if cmd == "serve":
         return _run_serve(args)
     if cmd == "report":
@@ -489,6 +527,25 @@ def _run_profile(args: argparse.Namespace) -> str:
     return f"{header}\n\n{table}"
 
 
+def _check_choice(kind: str, value: str, valid) -> None:
+    """Fail fast (exit 2) on an unknown registry name.
+
+    One convention for every name-shaped option (``--profile``,
+    ``--plan``, ``--traffic``, ``--topologies``): print ``error:
+    unknown <kind> '<value>' (known <kind>s: ...)`` to stderr and exit
+    2, instead of a traceback from wherever the registry lookup would
+    eventually have failed.
+    """
+    if value not in valid:
+        plural = kind[:-1] + "ies" if kind.endswith("y") else kind + "s"
+        print(
+            f"error: unknown {kind} {value!r} "
+            f"(known {plural}: {', '.join(valid)})",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+
+
 def _check_backend(args: argparse.Namespace) -> None:
     """Fail fast (exit 2) on an unknown ``--backend`` name.
 
@@ -519,15 +576,7 @@ def _run_bench(args: argparse.Namespace) -> str:
     if args.profile is not None:
         profiles = tuple(x.strip() for x in args.profile.split(",") if x.strip())
         for name in profiles:
-            if name not in PROFILES:
-                # same contract as an unknown --backend: exit 2 with the
-                # known-name listing, not a traceback from the grid loop
-                print(
-                    f"error: unknown profile {name!r} "
-                    f"(known profiles: {', '.join(PROFILES)})",
-                    file=sys.stderr,
-                )
-                raise SystemExit(2)
+            _check_choice("profile", name, PROFILES)
         if not profiles:
             print(
                 f"error: --profile needs at least one of "
@@ -690,6 +739,38 @@ def _run_report(args: argparse.Namespace) -> str:
             return md + f"\n\nwrote {args.report_out}"
         return md
 
+    if args.dynamics:
+        import json
+
+        from repro.experiments.dynamics import render_dynamics, validate_dynamics
+
+        doc = json.loads(args.dynamics.read_text())
+        problems = validate_dynamics(doc)
+        if problems:
+            raise SystemExit(
+                f"error: {args.dynamics} is not a valid dynamics document:\n  "
+                + "\n  ".join(problems)
+            )
+        md = "\n".join(
+            [
+                f"# dynamics report — {args.dynamics}",
+                "",
+                "```",
+                render_dynamics(doc),
+                "```",
+            ]
+        )
+        if args.report_out:
+            from repro.observability import to_html
+
+            args.report_out.parent.mkdir(parents=True, exist_ok=True)
+            if args.report_out.suffix.lower() in (".html", ".htm"):
+                args.report_out.write_text(to_html(md, title="dynamics report"))
+            else:
+                args.report_out.write_text(md)
+            return md + f"\n\nwrote {args.report_out}"
+        return md
+
     (title, meta, tracer, suite, spans, profiler, times, loads,
      crash_bounds) = _observed_run(args)
     md = build_report(
@@ -743,6 +824,8 @@ def _run_chaos(args: argparse.Namespace) -> str:
         write_resilience_json,
     )
 
+    from repro.experiments.resilience import SCENARIOS
+
     _check_backend(args)
     kwargs = dict(
         n=args.n,
@@ -753,6 +836,9 @@ def _run_chaos(args: argparse.Namespace) -> str:
         C=args.cap,
         seed=args.seed,
     )
+    if args.plan is not None:
+        _check_choice("plan", args.plan, SCENARIOS)
+        kwargs["scenario"] = args.plan
     if args.horizon is not None:
         kwargs["horizon"] = args.horizon
     doc = resilience_experiment(
@@ -762,6 +848,58 @@ def _run_chaos(args: argparse.Namespace) -> str:
     path = out_dir / "resilience.json"
     write_resilience_json(path, doc)
     return render_resilience(doc) + f"\n\nwrote {path}"
+
+
+def _run_churn(args: argparse.Namespace) -> str:
+    import dataclasses
+
+    from repro.experiments.dynamics import (
+        TOPOLOGIES,
+        DynamicsConfig,
+        dynamics_experiment,
+        render_dynamics,
+        write_dynamics_json,
+    )
+
+    _check_backend(args)
+    if args.smoke:
+        cfg = DynamicsConfig.smoke(seed=args.seed)
+    else:
+        kwargs = dict(f=args.f, delta=args.delta, C=args.cap, seed=args.seed)
+        if args.n != 16:  # parser default; only override when the user asked
+            kwargs["n"] = args.n
+        if args.horizon is not None:
+            kwargs["horizon"] = args.horizon
+        cfg = DynamicsConfig(**kwargs)
+    overrides: dict = {}
+    if args.topologies is not None:
+        names = tuple(x.strip() for x in args.topologies.split(",") if x.strip())
+        for name in names:
+            _check_choice("topology", name, tuple(sorted(TOPOLOGIES)))
+        overrides["topologies"] = names
+    for opt, field in (
+        (args.churn_rates, "churn_rates"),
+        (args.skews, "skews"),
+    ):
+        if opt is not None:
+            try:
+                overrides[field] = tuple(
+                    float(x) for x in opt.split(",") if x.strip()
+                )
+            except ValueError:
+                print(
+                    f"error: --{field.replace('_', '-')} expects "
+                    f"comma-separated numbers, got {opt!r}",
+                    file=sys.stderr,
+                )
+                raise SystemExit(2) from None
+    if overrides:
+        cfg = dataclasses.replace(cfg, **overrides)
+    doc = dynamics_experiment(cfg, backend=args.backend, jobs=args.jobs)
+    out_dir = args.out or Path("results")
+    path = out_dir / "dynamics.json"
+    write_dynamics_json(path, doc)
+    return render_dynamics(doc) + f"\n\nwrote {path} (schema valid)"
 
 
 def _run_serve(args: argparse.Namespace) -> str:
@@ -783,6 +921,9 @@ def _run_serve(args: argparse.Namespace) -> str:
     )
     overrides: dict = {}
     if args.traffic is not None:
+        from repro.service import TRAFFIC_PROFILES
+
+        _check_choice("traffic profile", args.traffic, TRAFFIC_PROFILES)
         overrides["traffic"] = args.traffic
     if args.rate is not None:
         overrides["rate"] = args.rate
@@ -850,6 +991,10 @@ def main(argv: list[str] | None = None) -> int:
         )
         print("performance tools: bench, report --compare (docs/PERFORMANCE.md)")
         print("resilience tools: chaos, report --faulted (docs/RESILIENCE.md)")
+        print(
+            "dynamics tools: churn [--smoke], report --dynamics "
+            "(docs/DYNAMICS.md)"
+        )
         print(
             "service mode: serve [--smoke --chaos], report --service "
             "(docs/SERVICE.md)"

@@ -215,12 +215,14 @@ class AsyncResult:
         return float(final.std() / mean) if mean > 0 else 0.0
 
 
-# event payload kinds (payload[1] is always the acting processor)
+# event payload kinds (payload[1] is always the acting processor;
+# -1 for network-wide events like churn wakeups)
 _ACTION = 0
 _COMPLETE = 1
 _RETRY = 2
 _TIMEOUT = 3
 _FAULT = 4
+_CHURN = 5
 
 _KIND_NAMES = {
     _ACTION: "action",
@@ -228,10 +230,11 @@ _KIND_NAMES = {
     _RETRY: "retry",
     _TIMEOUT: "timeout",
     _FAULT: "fault",
+    _CHURN: "churn",
 }
 
 #: first event-kind id available to subclasses (see ``_dispatch_extra``)
-FIRST_EXTRA_KIND = _FAULT + 1
+FIRST_EXTRA_KIND = _CHURN + 1
 
 
 class AsyncEngine:
@@ -278,6 +281,7 @@ class AsyncEngine:
         retry: RetryPolicy | None = None,
         faults: FaultPlan | FaultInjector | None = None,
         reclaim_timeout: float | None = None,
+        dynnet=None,
     ) -> None:
         if latency < 0:
             raise ValueError(f"latency must be >= 0, got {latency}")
@@ -294,7 +298,6 @@ class AsyncEngine:
         self.latency = latency
         self.snapshot_dt = snapshot_dt
         self.rng = make_rng(seed)
-        self.selector = selector or GlobalRandomSelector(self.n)
         self.trigger = FactorTrigger(params.f)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._trace = bool(self.tracer.enabled)
@@ -304,6 +307,35 @@ class AsyncEngine:
         self._span = spans is not None
         self.monitors = monitors
         self.retry = retry or RetryPolicy()
+        # a DynamicNetwork (repro.dynnet) doubles as the selector and
+        # additionally scales each processor's Poisson action clock by
+        # its speed; node leaves ride on the fault layer as crash
+        # windows (ChurnPlan.as_fault_plan), composed automatically
+        # when no fault plan of its own was passed
+        self.dynnet = dynnet
+        self._speeds: np.ndarray | None = None
+        if dynnet is not None:
+            if selector is not None:
+                raise ValueError("pass either selector= or dynnet=, not both")
+            if dynnet.n != self.n:
+                raise ValueError(
+                    f"dynnet has n={dynnet.n}, engine has n={self.n}"
+                )
+            dynnet.attach(tracer=self.tracer, monitors=monitors)
+            self.selector = dynnet
+            if not dynnet.profile.is_homogeneous:
+                self._speeds = dynnet.profile.speeds
+            if dynnet.plan.leaves:
+                if faults is not None:
+                    raise ValueError(
+                        "the churn plan has leave windows and faults= was "
+                        "also passed; compose them explicitly via "
+                        "ChurnPlan.as_fault_plan before constructing the "
+                        "engine"
+                    )
+                faults = dynnet.plan.as_fault_plan()
+        else:
+            self.selector = selector or GlobalRandomSelector(self.n)
         self.faults = as_injector(faults)
         if self.faults is not None:
             self.faults.plan.validate_for_network(self.n)
@@ -349,6 +381,10 @@ class AsyncEngine:
             for t, what, proc in self.faults.boundary_events():
                 if t <= horizon:
                     self.queue.push(t, (_FAULT, proc, what))
+        if self.dynnet is not None:
+            for t in self.dynnet.boundary_times():
+                if t <= horizon:
+                    self.queue.push(t, (_CHURN, -1))
         for i in range(self.n):
             self._schedule_action(i)
         snap_times = [0.0]
@@ -394,6 +430,8 @@ class AsyncEngine:
                 self._reclaim(ev.payload[1], ev.payload[2])
             elif kind == _FAULT:
                 self._fault_boundary(ev.payload[1], ev.payload[2])
+            elif kind == _CHURN:
+                self.dynnet.advance(self.time)
             else:
                 self._dispatch_extra(kind, ev.payload)
         while next_snap <= horizon:
@@ -478,6 +516,8 @@ class AsyncEngine:
 
     def _schedule_action(self, i: int) -> None:
         gap = self.rng.exponential(1.0)
+        if self._speeds is not None:
+            gap /= self._speeds[i]
         self.queue.push(self.time + gap, (_ACTION, i))
 
     def _do_action(self, i: int) -> None:

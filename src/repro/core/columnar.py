@@ -337,6 +337,7 @@ class ColumnarEngine(Engine):
         tracer=None,
         profiler=None,
         spans=None,
+        dynnet=None,
         fuse: bool = True,
         kernel: str = "auto",
     ) -> None:
@@ -348,6 +349,7 @@ class ColumnarEngine(Engine):
             tracer=tracer,
             profiler=profiler,
             spans=spans,
+            dynnet=dynnet,
         )
         # replace the plain dirty set with the hook-capable one before
         # any tick runs (the scalar handlers mutate it via add/update)

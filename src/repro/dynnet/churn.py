@@ -1,0 +1,415 @@
+"""Declarative topology churn: what rewires and who leaves, when.
+
+A :class:`ChurnPlan` is pure data, the dynamic-network sibling of
+:class:`repro.faults.plan.FaultPlan`: a schedule of edge rewires (drop
+one existing edge, add one currently-absent edge) and node leave/rejoin
+windows.  It holds no mutable state and no RNG; the same plan can
+drive any number of runs and serialises to/from JSON.
+
+Reproducibility contract: all churn randomness — which edges rewire,
+who leaves, when — is drawn at *plan construction time* from the plan
+seed (:meth:`ChurnPlan.sample`), never at simulation time.  The
+engines' workload/selection RNG streams are untouched by churn, so a
+run is a pure function of ``(engine seed, ChurnPlan)`` and replays bit
+for bit.
+
+Connectivity: :meth:`ChurnPlan.sample` only emits rewires whose drop
+keeps the *full* edge graph connected (checked again, event by event,
+when a :class:`ChurnSchedule` compiles the plan against a concrete
+topology).  Node leaves are deliberately allowed to strand a region —
+an unreachable neighbourhood is part of the degradation story the
+dynamics experiment measures, and the leave itself maps onto the fault
+layer's :class:`~repro.faults.plan.CrashWindow` machinery
+(:meth:`ChurnPlan.as_fault_plan`), so the PR 4 lineage stash-and-
+reinject recovery applies unchanged and application answers stay
+bit-identical across a leave/rejoin cycle.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "RewireEvent",
+    "LeaveWindow",
+    "ChurnEvent",
+    "ChurnPlan",
+    "ChurnSchedule",
+    "NO_CHURN",
+]
+
+
+def _norm_edge(edge: Iterable[int]) -> tuple[int, int]:
+    u, v = (int(x) for x in edge)
+    if u == v:
+        raise ValueError(f"self-loop edge ({u},{v})")
+    return (u, v) if u < v else (v, u)
+
+
+@dataclass(frozen=True, slots=True)
+class RewireEvent:
+    """At ``time``, edge ``drop`` disappears and edge ``add`` appears.
+
+    Both are undirected ``(u, v)`` pairs with ``u < v``; ``drop`` must
+    exist and ``add`` must be absent when the event applies (the
+    :class:`ChurnSchedule` compiler enforces this against the base
+    topology, replaying earlier events first).
+    """
+
+    time: float
+    drop: tuple[int, int]
+    add: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be >= 0, got {self.time}")
+        object.__setattr__(self, "drop", _norm_edge(self.drop))
+        object.__setattr__(self, "add", _norm_edge(self.add))
+        if self.drop == self.add:
+            raise ValueError(f"rewire drops and re-adds the same edge {self.drop}")
+
+
+@dataclass(frozen=True, slots=True)
+class LeaveWindow:
+    """Processor ``proc`` is away (left the network) during ``[start, end)``.
+
+    Semantically a planned, graceful counterpart of a crash: the node
+    stops acting, is excluded from every partner pool, and rejoins at
+    ``end`` with its stale trigger reference — the same observable
+    behaviour a :class:`~repro.faults.plan.CrashWindow` gives, which is
+    why :meth:`ChurnPlan.as_fault_plan` maps leaves onto crash windows
+    and the lineage-recovery machinery needs no new code path.
+    """
+
+    proc: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.proc < 0:
+            raise ValueError(f"proc must be >= 0, got {self.proc}")
+        if not 0 <= self.start < self.end:
+            raise ValueError(
+                f"need 0 <= start < end, got [{self.start}, {self.end})"
+            )
+
+    def covers(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnEvent:
+    """One compiled timeline entry: a rewire, a leave, or a join."""
+
+    time: float
+    kind: str                           # "rewire" | "leave" | "join"
+    proc: int = -1                      # leave/join only
+    drop: tuple[int, int] | None = None  # rewire only
+    add: tuple[int, int] | None = None   # rewire only
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnPlan:
+    """A complete, replayable topology-churn schedule (pure data)."""
+
+    rewires: tuple[RewireEvent, ...] = ()
+    leaves: tuple[LeaveWindow, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        by_proc: dict[int, list[LeaveWindow]] = {}
+        for w in self.leaves:
+            by_proc.setdefault(w.proc, []).append(w)
+        for proc, windows in by_proc.items():
+            windows.sort(key=lambda w: w.start)
+            for a, b in zip(windows, windows[1:]):
+                if b.start < a.end:
+                    raise ValueError(
+                        f"overlapping leave windows for processor {proc}: "
+                        f"[{a.start}, {a.end}) and [{b.start}, {b.end})"
+                    )
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.rewires and not self.leaves
+
+    @property
+    def max_time(self) -> float:
+        """Latest event boundary (0.0 for an empty plan)."""
+        ts = [e.time for e in self.rewires]
+        ts += [w.end for w in self.leaves]
+        return max(ts, default=0.0)
+
+    def validate_for_network(self, n: int) -> None:
+        """Every processor the plan names must exist."""
+        procs = {w.proc for w in self.leaves}
+        for e in self.rewires:
+            procs.update(e.drop)
+            procs.update(e.add)
+        bad = sorted(p for p in procs if p >= n)
+        if bad:
+            raise ValueError(
+                f"churn plan names processors {bad} but the network has n={n}"
+            )
+
+    def with_seed(self, seed: int) -> "ChurnPlan":
+        return replace(self, seed=seed)
+
+    # -- fault-layer bridge ----------------------------------------------
+
+    def as_fault_plan(self, *, message_loss: float = 0.0) -> "FaultPlan":
+        """Map the leave windows onto crash windows (PR 4 machinery).
+
+        A node that left behaves exactly like a fail-stop crash victim
+        until it rejoins, so the leave/rejoin lifecycle reuses the
+        fault layer wholesale: the async engine freezes the node via
+        the injector, and the task runtime's lineage stash-and-reinject
+        keeps application answers bit-identical across the absence.
+        """
+        from repro.faults.plan import CrashWindow, FaultPlan
+
+        return FaultPlan(
+            crashes=tuple(
+                CrashWindow(proc=w.proc, start=w.start, end=w.end)
+                for w in self.leaves
+            ),
+            message_loss=message_loss,
+            seed=self.seed,
+        )
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def sample(
+        cls,
+        topology,
+        *,
+        rate: float,
+        horizon: float,
+        seed: int = 0,
+        leave_frac: float = 0.0,
+        leave_duration: float | None = None,
+        max_tries: int = 64,
+    ) -> "ChurnPlan":
+        """Draw a random plan over ``topology`` from ``seed`` alone.
+
+        ``round(rate * horizon)`` rewire events at uniform times, each
+        dropping a uniformly chosen edge whose removal keeps the graph
+        connected and adding a uniformly chosen absent edge (on a graph
+        with no absent edges — the complete graph — rewires are
+        impossible and are skipped: a clique is immune to edge churn).
+        ``leave_frac`` of the processors additionally leave once each,
+        at staggered times in the middle half of the horizon, for
+        ``leave_duration`` (default ``horizon / 8``) time units.
+        """
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        if not 0.0 <= leave_frac <= 1.0:
+            raise ValueError(f"leave_frac must be in [0, 1], got {leave_frac}")
+        n = topology.n
+        rng = np.random.default_rng(np.random.SeedSequence((seed, 0xC4A9)))
+        adj: list[set[int]] = [
+            set(int(v) for v in topology.neighbors(i)) for i in range(n)
+        ]
+        edges = sorted(
+            (i, int(v)) for i in range(n) for v in adj[i] if i < v
+        )
+        k_events = int(round(rate * horizon))
+        times = np.sort(rng.uniform(0.0, horizon, size=k_events))
+        rewires: list[RewireEvent] = []
+        for t in times:
+            ev = cls._sample_rewire(float(t), adj, edges, rng, max_tries)
+            if ev is not None:
+                rewires.append(ev)
+
+        leaves: list[LeaveWindow] = []
+        k_leave = int(round(n * leave_frac))
+        if k_leave:
+            dur = leave_duration if leave_duration is not None else horizon / 8.0
+            dur = min(dur, horizon / 2.0)
+            victims = sorted(
+                int(p) for p in rng.choice(n, size=k_leave, replace=False)
+            )
+            starts = rng.uniform(0.25 * horizon, 0.5 * horizon, size=k_leave)
+            leaves = [
+                LeaveWindow(proc=p, start=float(s), end=float(s) + dur)
+                for p, s in zip(victims, starts)
+            ]
+        return cls(rewires=tuple(rewires), leaves=tuple(leaves), seed=seed)
+
+    @staticmethod
+    def _sample_rewire(
+        t: float,
+        adj: list[set[int]],
+        edges: list[tuple[int, int]],
+        rng: np.random.Generator,
+        max_tries: int,
+    ) -> RewireEvent | None:
+        """One connectivity-preserving rewire at ``t``, mutating the
+        evolving ``adj``/``edges`` state; None if no legal move exists."""
+        n = len(adj)
+        for _ in range(max_tries):
+            u, v = edges[int(rng.integers(len(edges)))]
+            adj[u].discard(v)
+            adj[v].discard(u)
+            if not _connected(adj):
+                adj[u].add(v)
+                adj[v].add(u)
+                continue
+            # draw an absent edge uniformly by rejection (dense graphs
+            # have few absent edges, so bound the tries too)
+            for _ in range(max_tries):
+                x = int(rng.integers(n))
+                y = int(rng.integers(n))
+                if x == y:
+                    continue
+                x, y = (x, y) if x < y else (y, x)
+                if y in adj[x] or (x, y) == (u, v):
+                    continue
+                adj[x].add(y)
+                adj[y].add(x)
+                edges.remove((u, v))
+                edges.append((x, y))
+                return RewireEvent(time=t, drop=(u, v), add=(x, y))
+            adj[u].add(v)  # no absent edge found: undo the drop
+            adj[v].add(u)
+            return None
+        return None
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rewires": [
+                {"time": e.time, "drop": list(e.drop), "add": list(e.add)}
+                for e in self.rewires
+            ],
+            "leaves": [
+                {"proc": w.proc, "start": w.start, "end": w.end}
+                for w in self.leaves
+            ],
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChurnPlan":
+        return cls(
+            rewires=tuple(
+                RewireEvent(
+                    time=e["time"], drop=tuple(e["drop"]), add=tuple(e["add"])
+                )
+                for e in data.get("rewires", ())
+            ),
+            leaves=tuple(
+                LeaveWindow(proc=w["proc"], start=w["start"], end=w["end"])
+                for w in data.get("leaves", ())
+            ),
+            seed=int(data.get("seed", 0)),
+        )
+
+    def to_json(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "ChurnPlan":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+#: The empty plan: a static network.
+NO_CHURN = ChurnPlan()
+
+
+def _connected(adj: list[set[int]]) -> bool:
+    """BFS connectivity over the full node set of an adjacency-set list."""
+    n = len(adj)
+    seen = bytearray(n)
+    seen[0] = 1
+    stack = [0]
+    count = 1
+    while stack:
+        u = stack.pop()
+        for v in adj[u]:
+            if not seen[v]:
+                seen[v] = 1
+                count += 1
+                stack.append(v)
+    return count == n
+
+
+# the compiled timeline kinds sort leaves before rewires before joins at
+# equal times: a node announces departure before the topology reshapes,
+# and rejoins see the post-rewire adjacency
+_KIND_ORDER = {"leave": 0, "rewire": 1, "join": 2}
+
+
+class ChurnSchedule:
+    """The compiled, validated event timeline of one plan over one base
+    topology.
+
+    Compilation replays every rewire over a scratch copy of the base
+    adjacency and rejects plans whose events do not apply cleanly: a
+    drop of an absent edge, an add of a present edge, or a drop that
+    disconnects the graph all raise ``ValueError`` with the offending
+    event.  The result is an immutable, time-sorted list of
+    :class:`ChurnEvent` that :class:`~repro.dynnet.network.
+    DynamicNetwork` consumes with a cursor.
+    """
+
+    def __init__(self, topology, plan: ChurnPlan) -> None:
+        plan.validate_for_network(topology.n)
+        self.topology = topology
+        self.plan = plan
+        events: list[ChurnEvent] = [
+            ChurnEvent(time=e.time, kind="rewire", drop=e.drop, add=e.add)
+            for e in plan.rewires
+        ]
+        for w in plan.leaves:
+            events.append(ChurnEvent(time=w.start, kind="leave", proc=w.proc))
+            events.append(ChurnEvent(time=w.end, kind="join", proc=w.proc))
+        events.sort(key=lambda e: (e.time, _KIND_ORDER[e.kind], e.proc))
+        self.events: tuple[ChurnEvent, ...] = tuple(events)
+        self._verify_rewires()
+
+    def _verify_rewires(self) -> None:
+        adj: list[set[int]] = [
+            set(int(v) for v in self.topology.neighbors(i))
+            for i in range(self.topology.n)
+        ]
+        for ev in self.events:
+            if ev.kind != "rewire":
+                continue
+            u, v = ev.drop
+            x, y = ev.add
+            if v not in adj[u]:
+                raise ValueError(
+                    f"rewire at t={ev.time:g} drops absent edge ({u},{v})"
+                )
+            if y in adj[x]:
+                raise ValueError(
+                    f"rewire at t={ev.time:g} adds present edge ({x},{y})"
+                )
+            adj[u].discard(v)
+            adj[v].discard(u)
+            if not _connected(adj):
+                raise ValueError(
+                    f"rewire at t={ev.time:g} disconnects the graph "
+                    f"(dropping ({u},{v}))"
+                )
+            adj[x].add(y)
+            adj[y].add(x)
+
+    def boundary_times(self) -> list[float]:
+        """Distinct event times, sorted (the engines' wakeup schedule)."""
+        return sorted({e.time for e in self.events})
+
+    def __len__(self) -> int:
+        return len(self.events)

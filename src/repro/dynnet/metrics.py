@@ -1,0 +1,84 @@
+"""Degradation metrics for the dynamics study.
+
+Heterogeneity-aware variants of :mod:`repro.faults.metrics`: the
+Theorem-4 statistic over *capacity-normalised* loads, the fraction of
+time it spends inside the band, and per-churn-event recovery times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "normalized_extreme_ratio",
+    "band_occupancy",
+    "churn_recovery_times",
+]
+
+
+def normalized_extreme_ratio(
+    loads: np.ndarray, capacities: np.ndarray, C: int
+) -> np.ndarray:
+    """Per-snapshot ``max_i (l_i/cap_i) / (min_j (l_j/cap_j) + C)``.
+
+    With unit capacities this is exactly
+    :func:`repro.faults.metrics.extreme_ratio`; with a heterogeneous
+    profile it asks the fair question — is anyone loaded far beyond its
+    *share* — instead of penalising big nodes for holding more.
+    """
+    loads = np.asarray(loads, dtype=float)
+    if loads.ndim != 2:
+        raise ValueError(f"loads must be 2-D (snapshots, n), got {loads.shape}")
+    capacities = np.asarray(capacities, dtype=float)
+    if capacities.shape != (loads.shape[1],):
+        raise ValueError(
+            f"capacities must have shape ({loads.shape[1]},), got {capacities.shape}"
+        )
+    if C < 1:
+        raise ValueError(f"C must be >= 1, got {C}")
+    norm = loads / capacities
+    return norm.max(axis=1) / (norm.min(axis=1) + C)
+
+
+def band_occupancy(
+    times: np.ndarray, rho: np.ndarray, band: float, *, warmup: float = 0.0
+) -> float:
+    """Fraction of post-warmup snapshots with ``rho <= band`` (NaN if
+    the warmup swallows every snapshot)."""
+    times = np.asarray(times, dtype=float)
+    rho = np.asarray(rho, dtype=float)
+    if times.shape != rho.shape:
+        raise ValueError(f"times {times.shape} and rho {rho.shape} disagree")
+    mask = times >= warmup
+    if not mask.any():
+        return float("nan")
+    return float((rho[mask] <= band).mean())
+
+
+def churn_recovery_times(
+    times: np.ndarray,
+    rho: np.ndarray,
+    band: float,
+    event_times,
+) -> list[float | None]:
+    """Per churn event: time until ``rho`` is next inside the band.
+
+    For each event time ``te``, the delay to the first snapshot at or
+    after ``te`` with ``rho <= band`` (0.0 when the band was never left
+    by ``te``'s next snapshot); ``None`` when the run ends still out of
+    band — the never-recovered tail the degradation study counts.
+    """
+    times = np.asarray(times, dtype=float)
+    rho = np.asarray(rho, dtype=float)
+    if times.shape != rho.shape:
+        raise ValueError(f"times {times.shape} and rho {rho.shape} disagree")
+    inside = rho <= band
+    out: list[float | None] = []
+    for te in event_times:
+        idx = np.searchsorted(times, float(te), side="left")
+        rec: float | None = None
+        hits = np.nonzero(inside[idx:])[0]
+        if hits.size:
+            rec = float(times[idx + int(hits[0])] - float(te))
+        out.append(rec)
+    return out

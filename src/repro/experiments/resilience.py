@@ -37,10 +37,11 @@ from repro.faults.metrics import (
     recovery_report,
     theorem4_band,
 )
-from repro.faults.plan import FaultPlan, StragglerWindow
+from repro.faults.plan import FaultPlan, Partition, StragglerWindow
 from repro.params import LBParams
 
 __all__ = [
+    "SCENARIOS",
     "ResilienceConfig",
     "resilience_experiment",
     "render_resilience",
@@ -50,6 +51,11 @@ __all__ = [
 
 #: bump when the document layout changes incompatibly
 RESILIENCE_SCHEMA_VERSION = 1
+
+#: named fault scenarios ``repro chaos --plan`` selects; all reuse the
+#: burst window ``[burst_at, burst_at + burst_duration)`` so the
+#: recovery report's spike/reentry framing applies unchanged
+SCENARIOS = ("crash_burst", "stragglers", "partition", "lossy")
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,6 +71,7 @@ class ResilienceConfig:
 
     n: int = 32
     horizon: float = 80.0
+    scenario: str = "crash_burst"
     crash_frac: float = 0.1
     burst_at: float = 30.0
     burst_duration: float = 15.0
@@ -79,10 +86,52 @@ class ResilienceConfig:
     C: int = 4
     seed: int = 0
 
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown plan {self.scenario!r} "
+                f"(known plans: {', '.join(SCENARIOS)})"
+            )
+
     def params(self) -> LBParams:
         return LBParams(f=self.f, delta=self.delta, C=self.C)
 
+    def _victims(self) -> list[int]:
+        """Deterministic burst victims (same draw as crash_burst)."""
+        count = max(1, round(self.n * self.crash_frac))
+        rng = np.random.default_rng(
+            np.random.SeedSequence((self.seed, 0x57A6))
+        )
+        return sorted(int(p) for p in rng.choice(self.n, count, replace=False))
+
     def plan(self) -> FaultPlan:
+        start, end = self.burst_at, self.burst_at + self.burst_duration
+        if self.scenario == "stragglers":
+            # same victim fraction, but slowed instead of killed: their
+            # in-flight operations stretch rather than strand
+            factor = self.straggler_factor if self.straggler_factor > 1.0 else 8.0
+            return FaultPlan(
+                stragglers=tuple(
+                    StragglerWindow(proc=p, start=start, end=end, factor=factor)
+                    for p in self._victims()
+                ),
+                message_loss=self.message_loss,
+            )
+        if self.scenario == "partition":
+            # cut the victim set off from the rest for the burst window
+            return FaultPlan(
+                partitions=(
+                    Partition(
+                        start=start, end=end,
+                        groups=(tuple(self._victims()),),
+                    ),
+                ),
+                message_loss=self.message_loss,
+            )
+        if self.scenario == "lossy":
+            # no structural faults, just a harshly lossy network for
+            # the whole run (completions and partner joins both drop)
+            return FaultPlan(message_loss=max(self.message_loss, 0.15))
         stragglers = ()
         if self.straggler_factor > 1.0:
             # slow down processor 0 for the burst window (a crashed
@@ -242,7 +291,8 @@ def render_resilience(doc: dict) -> str:
     )
     fs = doc["faulted"]["counters"]["fault_stats"] or {}
     head = (
-        f"crash burst: {cfg['crash_frac']:.0%} of n={cfg['n']} dark over "
+        f"scenario {cfg.get('scenario', 'crash_burst')}: "
+        f"{cfg['crash_frac']:.0%} of n={cfg['n']} affected over "
         f"[{cfg['burst_at']:g}, {cfg['burst_at'] + cfg['burst_duration']:g}), "
         f"message loss {cfg['message_loss']:g}, seed {cfg['seed']}, "
         f"backend {doc.get('backend', 'native')}\n"

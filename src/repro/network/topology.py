@@ -98,6 +98,25 @@ class Topology:
         except ValueError:
             return False
 
+    def adjacency_hash(self) -> str:
+        """SHA-256 over the canonical adjacency (hex digest).
+
+        The digest covers ``n`` and every sorted neighbour array in
+        node order, so two topologies hash equal iff their adjacency
+        is identical.  Seeded generators (``RandomRegular``) pin their
+        per-seed graphs with golden digests in the test suite — a
+        silent RNG-stream change would break reproducibility of every
+        experiment built on them.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(str(self.n).encode())
+        for nb in self._adj:
+            h.update(b"|")
+            h.update(np.ascontiguousarray(nb, dtype=np.int64).tobytes())
+        return h.hexdigest()
+
     # -- candidate pools (for NeighborhoodSelector) ---------------------------
 
     def neighborhood_pools(self, radius: int = 1) -> list[np.ndarray]:

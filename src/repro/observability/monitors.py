@@ -465,6 +465,10 @@ class MonitorSuite:
         self._trace = bool(self.tracer.enabled)
         self.breaches: list[Breach] = []
         self.recoveries: list[Recovery] = []
+        # grace windows (see grace()): [start, end) intervals during
+        # which statistical ("warn") monitors are not fed
+        self._grace_until = float("-inf")
+        self.suppressed_snapshots = 0
         for m in self.monitors:
             m._sink = self
 
@@ -492,8 +496,42 @@ class MonitorSuite:
 
     # -- feeding ---------------------------------------------------------
 
+    def grace(self, t: float, duration: float) -> None:
+        """Open (or extend) a grace window: ``[t, t + duration)``.
+
+        The dynamic-network runtime calls this around every applied
+        churn event (see :mod:`repro.dynnet`): a topology change or a
+        node leaving legitimately throws the statistical bands for a
+        moment, and a breach alarm for it would be noise.  During the
+        window :meth:`observe` skips every ``severity == "warn"``
+        monitor — their internal streaks neither grow nor reset, as if
+        the snapshots never happened — while ``critical`` monitors
+        (exact conservation laws, which no amount of churn may break)
+        keep observing every snapshot.  Windows never shrink: a later
+        call can only extend the current horizon.
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        end = float(t) + float(duration)
+        if end > self._grace_until:
+            self._grace_until = end
+
+    def in_grace(self, t: float) -> bool:
+        """True while ``t`` is inside an open grace window."""
+        return t < self._grace_until
+
     def observe(self, t: float, loads: np.ndarray, engine=None) -> None:
-        """Feed one load snapshot (and optionally the live engine)."""
+        """Feed one load snapshot (and optionally the live engine).
+
+        Inside a grace window only ``critical`` monitors observe; the
+        skip is counted in :attr:`suppressed_snapshots`.
+        """
+        if self.in_grace(t):
+            self.suppressed_snapshots += 1
+            for m in self.monitors:
+                if m.severity == "critical":
+                    m.observe(t, loads, engine)
+            return
         for m in self.monitors:
             m.observe(t, loads, engine)
 

@@ -256,6 +256,25 @@ EVENT_SCHEMAS: dict[str, EventSchema] = {
             "A balancing-operation span closed with its outcome.",
             span=int, t=float, status=str, migrated=int,
         ),
+        # -- dynamic network churn (repro.dynnet.network) ----------------
+        _schema(
+            "topology_change",
+            "repro.dynnet.network",
+            "A scheduled edge rewire was applied to the live topology.",
+            time=float, dropped=list, added=list,
+        ),
+        _schema(
+            "node_leave",
+            "repro.dynnet.network",
+            "A processor left the network (starts its leave window).",
+            time=float, proc=int,
+        ),
+        _schema(
+            "node_join",
+            "repro.dynnet.network",
+            "A previously departed processor rejoined the network.",
+            time=float, proc=int,
+        ),
     )
 }
 

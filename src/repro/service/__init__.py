@@ -23,6 +23,7 @@ from repro.service.slo import (
     write_service_json,
 )
 from repro.service.traffic import (
+    TRAFFIC_PROFILES,
     Arrival,
     BurstyTraffic,
     DiurnalTraffic,
@@ -53,5 +54,6 @@ __all__ = [
     "DiurnalTraffic",
     "PoissonTraffic",
     "ReplayTraffic",
+    "TRAFFIC_PROFILES",
     "make_traffic",
 ]

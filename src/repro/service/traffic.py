@@ -53,8 +53,12 @@ __all__ = [
     "BurstyTraffic",
     "DiurnalTraffic",
     "ReplayTraffic",
+    "TRAFFIC_PROFILES",
     "make_traffic",
 ]
+
+#: profile names :func:`make_traffic` accepts (CLI validation source)
+TRAFFIC_PROFILES = ("poisson", "bursty", "diurnal")
 
 
 @dataclass(frozen=True, slots=True)
@@ -302,5 +306,5 @@ def make_traffic(
         )
     raise ValueError(
         f"unknown traffic profile {profile!r} "
-        "(known: poisson, bursty, diurnal)"
+        f"(known: {', '.join(TRAFFIC_PROFILES)})"
     )

@@ -1,0 +1,228 @@
+"""Tests for churn plans and compiled schedules."""
+
+import numpy as np
+import pytest
+
+from repro.dynnet import (
+    NO_CHURN,
+    ChurnPlan,
+    ChurnSchedule,
+    LeaveWindow,
+    RewireEvent,
+)
+from repro.network import CompleteGraph, Hypercube, Ring
+
+
+class TestRewireEvent:
+    def test_normalizes_edge_order(self):
+        ev = RewireEvent(time=1.0, drop=(3, 1), add=(5, 2))
+        assert ev.drop == (1, 3)
+        assert ev.add == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            RewireEvent(time=0.0, drop=(1, 1), add=(0, 2))
+
+    def test_rejects_noop_rewire(self):
+        with pytest.raises(ValueError):
+            RewireEvent(time=0.0, drop=(0, 1), add=(1, 0))
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            RewireEvent(time=-1.0, drop=(0, 1), add=(0, 2))
+
+
+class TestLeaveWindow:
+    def test_covers(self):
+        w = LeaveWindow(proc=3, start=2.0, end=5.0)
+        assert not w.covers(1.9)
+        assert w.covers(2.0)
+        assert w.covers(4.99)
+        assert not w.covers(5.0)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            LeaveWindow(proc=0, start=5.0, end=5.0)
+
+
+class TestChurnPlan:
+    def test_empty_plan(self):
+        assert NO_CHURN.is_empty
+        assert NO_CHURN.max_time == 0.0
+
+    def test_rejects_overlapping_leaves(self):
+        with pytest.raises(ValueError, match="overlapping"):
+            ChurnPlan(
+                leaves=(
+                    LeaveWindow(proc=1, start=0.0, end=5.0),
+                    LeaveWindow(proc=1, start=4.0, end=8.0),
+                )
+            )
+
+    def test_sequential_leaves_same_proc_ok(self):
+        plan = ChurnPlan(
+            leaves=(
+                LeaveWindow(proc=1, start=0.0, end=5.0),
+                LeaveWindow(proc=1, start=5.0, end=8.0),
+            )
+        )
+        assert plan.max_time == 8.0
+
+    def test_validate_for_network(self):
+        plan = ChurnPlan(leaves=(LeaveWindow(proc=9, start=0.0, end=1.0),))
+        plan.validate_for_network(10)
+        with pytest.raises(ValueError, match=r"\[9\]"):
+            plan.validate_for_network(9)
+
+    def test_roundtrip(self, tmp_path):
+        plan = ChurnPlan.sample(
+            Ring(12), rate=0.3, horizon=30.0, seed=5, leave_frac=0.25
+        )
+        path = tmp_path / "plan.json"
+        plan.to_json(path)
+        again = ChurnPlan.from_json(path)
+        assert again == plan
+
+    def test_as_fault_plan_maps_leaves_to_crashes(self):
+        plan = ChurnPlan(
+            leaves=(
+                LeaveWindow(proc=2, start=3.0, end=7.0),
+                LeaveWindow(proc=5, start=4.0, end=9.0),
+            ),
+            seed=11,
+        )
+        fp = plan.as_fault_plan(message_loss=0.05)
+        assert [(c.proc, c.start, c.end) for c in fp.crashes] == [
+            (2, 3.0, 7.0), (5, 4.0, 9.0),
+        ]
+        assert fp.message_loss == 0.05
+
+
+class TestSample:
+    def test_deterministic_in_seed(self):
+        a = ChurnPlan.sample(Ring(16), rate=0.5, horizon=40.0, seed=3,
+                             leave_frac=0.25)
+        b = ChurnPlan.sample(Ring(16), rate=0.5, horizon=40.0, seed=3,
+                             leave_frac=0.25)
+        assert a == b
+        c = ChurnPlan.sample(Ring(16), rate=0.5, horizon=40.0, seed=4,
+                             leave_frac=0.25)
+        assert a != c
+
+    def test_event_count_tracks_rate(self):
+        plan = ChurnPlan.sample(Hypercube(4), rate=0.5, horizon=40.0, seed=0)
+        # every sampled rewire should be legal on a hypercube (plenty of
+        # absent edges, high connectivity)
+        assert len(plan.rewires) == 20
+
+    def test_zero_rate_is_empty(self):
+        plan = ChurnPlan.sample(Ring(8), rate=0.0, horizon=10.0, seed=0)
+        assert plan.is_empty
+
+    def test_complete_graph_immune_to_rewires(self):
+        plan = ChurnPlan.sample(
+            CompleteGraph(8), rate=1.0, horizon=10.0, seed=0, leave_frac=0.25
+        )
+        assert plan.rewires == ()
+        assert len(plan.leaves) == 2
+
+    def test_leaves_sit_in_middle_half(self):
+        plan = ChurnPlan.sample(
+            Ring(16), rate=0.0, horizon=40.0, seed=7, leave_frac=0.5
+        )
+        assert len(plan.leaves) == 8
+        for w in plan.leaves:
+            assert 10.0 <= w.start <= 20.0
+            assert w.end - w.start == pytest.approx(5.0)
+
+
+class TestChurnSchedule:
+    def test_compiles_and_sorts(self):
+        plan = ChurnPlan(
+            rewires=(RewireEvent(time=4.0, drop=(0, 1), add=(0, 2)),),
+            leaves=(LeaveWindow(proc=3, start=2.0, end=6.0),),
+        )
+        sched = ChurnSchedule(Ring(8), plan)
+        assert [e.kind for e in sched.events] == ["leave", "rewire", "join"]
+        assert sched.boundary_times() == [2.0, 4.0, 6.0]
+        assert len(sched) == 3
+
+    def test_rejects_drop_of_absent_edge(self):
+        plan = ChurnPlan(
+            rewires=(RewireEvent(time=1.0, drop=(0, 4), add=(0, 2)),)
+        )
+        with pytest.raises(ValueError, match="absent edge"):
+            ChurnSchedule(Ring(8), plan)
+
+    def test_rejects_add_of_present_edge(self):
+        plan = ChurnPlan(
+            rewires=(RewireEvent(time=1.0, drop=(0, 1), add=(2, 3)),)
+        )
+        with pytest.raises(ValueError, match="present edge"):
+            ChurnSchedule(Ring(8), plan)
+
+    def test_rejects_disconnecting_drop(self):
+        # dropping a ring edge without re-adding a bridge in the same
+        # event leaves a path, still connected; build a line-cut case:
+        # ring 0-1-2-3, drop (0,1) then drop (2,3) disconnects {1,2}|{3,0}
+        plan = ChurnPlan(
+            rewires=(
+                RewireEvent(time=1.0, drop=(0, 1), add=(0, 2)),
+                RewireEvent(time=2.0, drop=(0, 2), add=(1, 3)),
+                RewireEvent(time=3.0, drop=(0, 3), add=(0, 1)),
+            )
+        )
+        # replay manually to find whether any step disconnects; rely on
+        # the compiler to agree with the replay
+        try:
+            sched = ChurnSchedule(Ring(4), plan)
+        except ValueError as exc:
+            assert "disconnects" in str(exc)
+        else:
+            assert len(sched) == 3
+
+    def test_sampled_plans_always_compile(self):
+        for seed in range(10):
+            topo = Hypercube(4)
+            plan = ChurnPlan.sample(
+                topo, rate=1.0, horizon=20.0, seed=seed, leave_frac=0.25
+            )
+            sched = ChurnSchedule(topo, plan)
+            assert len(sched) == len(plan.rewires) + 2 * len(plan.leaves)
+
+    def test_equal_time_leave_before_rewire_before_join(self):
+        plan = ChurnPlan(
+            rewires=(RewireEvent(time=5.0, drop=(0, 1), add=(0, 2)),),
+            leaves=(
+                LeaveWindow(proc=6, start=5.0, end=9.0),
+                LeaveWindow(proc=7, start=1.0, end=5.0),
+            ),
+        )
+        sched = ChurnSchedule(Ring(8), plan)
+        at5 = [e.kind for e in sched.events if e.time == 5.0]
+        assert at5 == ["leave", "rewire", "join"]
+
+
+def test_connected_helper_by_numpy_comparison():
+    """The plan sampler's BFS agrees with Topology.is_connected."""
+    from repro.dynnet.churn import _connected
+
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        n = int(rng.integers(4, 12))
+        adj: list[set[int]] = [set() for _ in range(n)]
+        for _ in range(int(rng.integers(n - 1, 2 * n))):
+            u, v = rng.integers(n, size=2)
+            if u != v:
+                adj[int(u)].add(int(v))
+                adj[int(v)].add(int(u))
+        # brute-force reachability from 0
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            u = frontier.pop()
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        assert _connected(adj) == (len(seen) == n)

@@ -1,0 +1,80 @@
+"""Tests for heterogeneous speed/capacity profiles."""
+
+import numpy as np
+import pytest
+
+from repro.dynnet import HeterogeneousProfile
+
+
+class TestConstruction:
+    def test_capacities_default_to_speeds(self):
+        p = HeterogeneousProfile([1.0, 2.0, 0.5])
+        assert np.array_equal(p.capacities, p.speeds)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            HeterogeneousProfile([1.0, 0.0])
+        with pytest.raises(ValueError):
+            HeterogeneousProfile([1.0, 1.0], [1.0, -2.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            HeterogeneousProfile([1.0, 1.0], [1.0, 1.0, 1.0])
+
+    def test_arrays_read_only(self):
+        p = HeterogeneousProfile([1.0, 2.0])
+        with pytest.raises(ValueError):
+            p.speeds[0] = 3.0
+
+
+class TestHomogeneity:
+    def test_homogeneous_constructor(self):
+        p = HeterogeneousProfile.homogeneous(8)
+        assert p.n == 8
+        assert p.is_homogeneous
+        assert p.skew_ratio == 1.0
+
+    def test_unequal_speeds_not_homogeneous(self):
+        assert not HeterogeneousProfile([1.0, 2.0]).is_homogeneous
+
+    def test_uniform_nonunit_capacities_homogeneous(self):
+        # equal capacities everywhere normalise out, whatever the value
+        p = HeterogeneousProfile([1.0, 1.0], [3.0, 3.0])
+        assert p.is_homogeneous
+
+
+class TestSkewed:
+    def test_zero_skew_is_exactly_homogeneous(self):
+        p = HeterogeneousProfile.skewed(16, 0.0, seed=3)
+        assert np.array_equal(p.speeds, np.ones(16))
+        assert p.is_homogeneous
+
+    def test_mean_speed_normalised(self):
+        p = HeterogeneousProfile.skewed(64, 0.8, seed=1)
+        assert p.speeds.mean() == pytest.approx(1.0)
+        assert p.skew_ratio > 1.0
+
+    def test_deterministic_in_seed(self):
+        a = HeterogeneousProfile.skewed(16, 0.5, seed=9)
+        b = HeterogeneousProfile.skewed(16, 0.5, seed=9)
+        c = HeterogeneousProfile.skewed(16, 0.5, seed=10)
+        assert a == b
+        assert a != c
+
+    def test_rejects_negative_skew(self):
+        with pytest.raises(ValueError):
+            HeterogeneousProfile.skewed(8, -0.1)
+
+
+class TestNormalisation:
+    def test_normalized_divides_by_capacity(self):
+        p = HeterogeneousProfile([1.0, 1.0], [2.0, 4.0])
+        out = p.normalized(np.array([[4.0, 4.0], [8.0, 8.0]]))
+        assert np.array_equal(out, [[2.0, 1.0], [4.0, 2.0]])
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        p = HeterogeneousProfile.skewed(8, 0.6, seed=2)
+        again = HeterogeneousProfile.from_dict(p.to_dict())
+        assert again == p

@@ -1,0 +1,194 @@
+"""Tests for the DynamicNetwork runtime."""
+
+import numpy as np
+import pytest
+
+from repro.dynnet import (
+    ChurnPlan,
+    DynamicNetwork,
+    HeterogeneousProfile,
+    LeaveWindow,
+    RewireEvent,
+)
+from repro.network import CompleteGraph, Hypercube, Ring
+from repro.observability import MonitorSuite, Tracer
+from repro.params import LBParams
+
+
+def _suite() -> MonitorSuite:
+    return MonitorSuite.standard(LBParams(f=1.3, delta=2, C=4))
+
+
+def _plan() -> ChurnPlan:
+    return ChurnPlan(
+        rewires=(RewireEvent(time=4.0, drop=(0, 1), add=(0, 2)),),
+        leaves=(LeaveWindow(proc=5, start=2.0, end=6.0),),
+    )
+
+
+class TestConstruction:
+    def test_trivial_detection(self):
+        assert DynamicNetwork(CompleteGraph(8)).is_trivial
+        assert not DynamicNetwork(Ring(8)).is_trivial
+        leaves_only = ChurnPlan(
+            leaves=(LeaveWindow(proc=5, start=2.0, end=6.0),)
+        )
+        assert not DynamicNetwork(CompleteGraph(8), plan=leaves_only).is_trivial
+        skewed = HeterogeneousProfile.skewed(8, 0.5, seed=1)
+        assert not DynamicNetwork(CompleteGraph(8), profile=skewed).is_trivial
+
+    def test_rejects_profile_size_mismatch(self):
+        with pytest.raises(ValueError):
+            DynamicNetwork(Ring(8), profile=HeterogeneousProfile.homogeneous(9))
+
+    def test_rejects_negative_grace(self):
+        with pytest.raises(ValueError):
+            DynamicNetwork(Ring(8), grace=-1.0)
+
+    def test_rejects_plan_referencing_missing_proc(self):
+        plan = ChurnPlan(leaves=(LeaveWindow(proc=20, start=0.0, end=1.0),))
+        with pytest.raises(ValueError):
+            DynamicNetwork(Ring(8), plan=plan)
+
+
+class TestAdvance:
+    def test_applies_events_in_order(self):
+        net = DynamicNetwork(Ring(8), plan=_plan())
+        assert net.pending_events == 3
+        assert net.advance(2.0) == 1  # the leave
+        assert not net.alive[5]
+        assert net.leaves_applied == 1
+        assert net.advance(4.0) == 1  # the rewire
+        assert 1 not in net._adj[0] and 2 in net._adj[0]
+        assert net.rewires_applied == 1
+        assert net.advance(10.0) == 1  # the join
+        assert net.alive[5]
+        assert net.joins_applied == 1
+        assert net.pending_events == 0
+
+    def test_advance_is_idempotent(self):
+        net = DynamicNetwork(Ring(8), plan=_plan())
+        net.advance(100.0)
+        assert net.advance(100.0) == 0
+
+    def test_reset_rewinds(self):
+        net = DynamicNetwork(Ring(8), plan=_plan())
+        net.advance(100.0)
+        net.reset()
+        assert net.pending_events == 3
+        assert net.alive.all()
+        assert 1 in net._adj[0]
+        assert net.rewires_applied == 0
+
+    def test_boundary_times(self):
+        net = DynamicNetwork(Ring(8), plan=_plan())
+        assert net.boundary_times() == [2.0, 4.0, 6.0]
+
+    def test_traces_events(self):
+        tracer = Tracer()
+        net = DynamicNetwork(Ring(8), plan=_plan())
+        net.attach(tracer=tracer)
+        net.advance(100.0)
+        kinds = [e["type"] for e in tracer.events
+                 if e["type"] in ("topology_change", "node_leave", "node_join")]
+        assert kinds == ["node_leave", "topology_change", "node_join"]
+
+    def test_opens_monitor_grace_windows(self):
+        suite = _suite()
+        net = DynamicNetwork(Ring(8), plan=_plan(), grace=3.0)
+        net.attach(monitors=suite)
+        net.advance(2.0)
+        assert suite.in_grace(4.9)
+        assert not suite.in_grace(5.0)
+
+    def test_grace_zero_never_touches_monitors(self):
+        suite = _suite()
+        net = DynamicNetwork(Ring(8), plan=_plan(), grace=0.0)
+        net.attach(monitors=suite)
+        net.advance(100.0)
+        assert not suite.in_grace(2.0)
+
+
+class TestTopologyQueries:
+    def test_live_neighbors_excludes_away_nodes(self):
+        plan = ChurnPlan(leaves=(LeaveWindow(proc=1, start=1.0, end=9.0),))
+        net = DynamicNetwork(Ring(8), plan=plan)
+        assert list(net.live_neighbors(0)) == [1, 7]
+        net.advance(1.0)
+        assert list(net.live_neighbors(0)) == [7]
+        net.advance(9.0)
+        assert list(net.live_neighbors(0)) == [1, 7]
+
+    def test_is_isolated(self):
+        # on a ring of 4, node 0's neighbours are 1 and 3; remove both
+        plan = ChurnPlan(
+            leaves=(
+                LeaveWindow(proc=1, start=1.0, end=9.0),
+                LeaveWindow(proc=3, start=1.0, end=9.0),
+            )
+        )
+        net = DynamicNetwork(Ring(4), plan=plan)
+        assert not net.is_isolated(0)
+        net.advance(1.0)
+        assert net.is_isolated(0)
+        assert net.live_neighbors(0).size == 0
+
+    def test_degree_and_edge_count_track_rewires(self):
+        net = DynamicNetwork(Ring(8), plan=_plan())
+        assert net.degree(0) == 2
+        assert net.edge_count() == 8
+        net.advance(4.0)
+        assert net.degree(0) == 2  # dropped (0,1), added (0,2)
+        assert net.degree(1) == 1
+        assert net.degree(2) == 3
+        assert net.edge_count() == 8
+
+
+class TestSelect:
+    def test_trivial_matches_global_selector(self):
+        from repro.core.selection import GlobalRandomSelector
+
+        net = DynamicNetwork(CompleteGraph(16))
+        stock = GlobalRandomSelector(16)
+        a = net.select(3, 4, np.random.default_rng(0))
+        b = stock.select(3, 4, np.random.default_rng(0))
+        assert np.array_equal(a, b)
+
+    def test_small_pool_returned_whole(self):
+        net = DynamicNetwork(Ring(8))
+        got = net.select(0, 4, np.random.default_rng(0))
+        assert sorted(int(v) for v in got) == [1, 7]
+
+    def test_isolated_initiator_gets_empty_draw(self):
+        plan = ChurnPlan(
+            leaves=(
+                LeaveWindow(proc=1, start=1.0, end=9.0),
+                LeaveWindow(proc=3, start=1.0, end=9.0),
+            )
+        )
+        net = DynamicNetwork(Ring(4), plan=plan)
+        net.advance(1.0)
+        assert net.select(0, 2, np.random.default_rng(0)).size == 0
+
+    def test_draws_within_live_pool_without_replacement(self):
+        net = DynamicNetwork(Hypercube(4))
+        rng = np.random.default_rng(5)
+        for i in range(net.n):
+            got = net.select(i, 2, rng)
+            assert got.size == 2
+            assert len(set(int(v) for v in got)) == 2
+            assert set(int(v) for v in got) <= set(net._adj[i])
+
+    def test_speed_weighting_biases_draws(self):
+        speeds = np.ones(16)
+        speeds[1] = 50.0  # neighbour 1 of node 0 is much faster
+        net = DynamicNetwork(
+            Hypercube(4), profile=HeterogeneousProfile(speeds)
+        )
+        rng = np.random.default_rng(0)
+        hits = sum(
+            1 in net.select(0, 1, rng) for _ in range(400)
+        )
+        # node 0's hypercube neighbours are 1, 2, 4, 8; uniform would
+        # give ~100 hits — weighting must push it far above that
+        assert hits > 300

@@ -1,0 +1,149 @@
+"""Tests for the dynamics degradation sweep and its artifact."""
+
+import json
+
+import pytest
+
+from repro.experiments.dynamics import (
+    TOPOLOGIES,
+    DynamicsConfig,
+    build_topology,
+    dynamics_experiment,
+    render_dynamics,
+    validate_dynamics,
+    write_dynamics_json,
+)
+
+
+class TestConfig:
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            DynamicsConfig(topologies=("complete", "bogus"))
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            DynamicsConfig(churn_rates=())
+
+    def test_grid_is_cross_product_in_document_order(self):
+        cfg = DynamicsConfig(
+            topologies=("ring", "complete"),
+            churn_rates=(0.0, 0.1),
+            skews=(0.5,),
+        )
+        assert cfg.cells() == [
+            ("ring", 0.0, 0.5), ("ring", 0.1, 0.5),
+            ("complete", 0.0, 0.5), ("complete", 0.1, 0.5),
+        ]
+
+    def test_smoke_covers_three_topologies(self):
+        cfg = DynamicsConfig.smoke()
+        assert len(cfg.topologies) >= 3
+
+
+class TestBuildTopology:
+    def test_every_registered_family_builds(self):
+        for name in TOPOLOGIES:
+            g = build_topology(name, 16, seed=0)
+            assert g.n == 16
+            assert g.is_connected()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            build_topology("bogus", 16)
+
+    def test_power_of_two_required_where_it_matters(self):
+        with pytest.raises(ValueError):
+            build_topology("hypercube", 12)
+
+
+class TestValidator:
+    def make_doc(self):
+        cell = {
+            "topology": "ring",
+            "churn": {"rate": 0.1, "events": 3, "rewires": 1,
+                      "leaves": 1, "joins": 1},
+            "skew": 0.0, "skew_ratio": 1.0, "seed": 0,
+            "band_occupancy": 0.9, "worst_ratio": 2.0, "final_ratio": 1.0,
+            "recovery": {"events": 3, "recovered": 3,
+                         "mean_time": 0.4, "max_time": 1.0},
+            "counters": {"total_ops": 10, "dropped_ops": 0,
+                         "packets_migrated": 5, "retries": 0, "give_ups": 0},
+        }
+        return {
+            "schema": "repro/dynamics", "version": 1, "band": 1.9,
+            "config": {"topologies": ["ring"], "churn_rates": [0.1],
+                       "skews": [0.0]},
+            "cells": [json.loads(json.dumps(cell))],
+        }
+
+    def test_accepts_wellformed(self):
+        assert validate_dynamics(self.make_doc()) == []
+
+    def test_rejects_wrong_schema_tag(self):
+        doc = self.make_doc()
+        doc["schema"] = "something/else"
+        assert any("repro/dynamics" in p for p in validate_dynamics(doc))
+
+    def test_rejects_grid_size_mismatch(self):
+        doc = self.make_doc()
+        doc["config"]["churn_rates"] = [0.1, 0.3]
+        assert any("expected 2 cells" in p for p in validate_dynamics(doc))
+
+    def test_rejects_missing_cell_field(self):
+        doc = self.make_doc()
+        del doc["cells"][0]["band_occupancy"]
+        assert any("band_occupancy" in p for p in validate_dynamics(doc))
+
+    def test_rejects_non_int_counter(self):
+        doc = self.make_doc()
+        doc["cells"][0]["counters"]["retries"] = 1.5
+        assert any("retries" in p for p in validate_dynamics(doc))
+
+    def test_rejects_missing_recovery_time(self):
+        doc = self.make_doc()
+        del doc["cells"][0]["recovery"]["mean_time"]
+        assert any("mean_time" in p for p in validate_dynamics(doc))
+
+
+@pytest.mark.tier2
+class TestDynamicsEndToEnd:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return dynamics_experiment(DynamicsConfig.smoke(), backend="native")
+
+    def test_document_schema_valid(self, doc):
+        assert validate_dynamics(doc) == []
+
+    def test_covers_at_least_three_topologies(self, doc):
+        assert len({c["topology"] for c in doc["cells"]}) >= 3
+
+    def test_zero_churn_cells_have_no_events(self, doc):
+        for cell in doc["cells"]:
+            if cell["churn"]["rate"] == 0.0:
+                assert cell["churn"]["events"] == 0
+            if cell["skew"] == 0.0:
+                assert cell["skew_ratio"] == 1.0
+            else:
+                assert cell["skew_ratio"] > 1.0
+
+    def test_deterministic(self, doc):
+        again = dynamics_experiment(DynamicsConfig.smoke(), backend="native")
+        assert again == doc
+
+    def test_seed_changes_document(self, doc):
+        other = dynamics_experiment(
+            DynamicsConfig.smoke(seed=1), backend="native"
+        )
+        assert other["cells"] != doc["cells"]
+
+    def test_json_roundtrip(self, doc, tmp_path):
+        path = tmp_path / "dynamics.json"
+        write_dynamics_json(path, doc)
+        assert validate_dynamics(json.loads(path.read_text())) == []
+
+    def test_render(self, doc):
+        out = render_dynamics(doc)
+        assert "Theorem-4 band" in out
+        assert "occupancy" in out
+        for name in ("complete", "ring", "hypercube"):
+            assert name in out

@@ -1,0 +1,173 @@
+"""Property tests over every topology family, plus golden adjacency hashes.
+
+Hypothesis sweeps sizes per family and checks the invariants every
+interconnection network must satisfy: symmetric adjacency, no
+self-loops, connectivity, and (for the regular families) equal degrees.
+The golden hashes pin the seeded generators' per-seed graphs — a
+silent RNG-stream change in ``RandomRegular`` (or an edge-rule change
+in ``DeBruijn``) would alter every experiment built on them, so it
+must show up as a test failure, not as quietly different results.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network import (
+    CompleteGraph,
+    DeBruijn,
+    Hypercube,
+    Mesh2D,
+    RandomRegular,
+    Ring,
+    Star,
+    Torus2D,
+)
+
+
+def _symmetric(g) -> bool:
+    return all(
+        i in g.neighbors(int(j)) for i in range(g.n) for j in g.neighbors(i)
+    )
+
+
+def _no_self_loops(g) -> bool:
+    return all(i not in g.neighbors(i) for i in range(g.n))
+
+
+def check_invariants(g, *, regular: bool) -> None:
+    assert _symmetric(g)
+    assert _no_self_loops(g)
+    assert g.is_connected()
+    if regular:
+        assert g.is_regular()
+    for i in range(g.n):
+        nb = g.neighbors(i)
+        assert nb.dtype == np.int64
+        assert (np.diff(nb) > 0).all()  # sorted, unique
+
+
+class TestInvariantsAcrossFamilies:
+    @given(n=st.integers(min_value=2, max_value=40))
+    def test_complete(self, n):
+        check_invariants(CompleteGraph(n), regular=True)
+
+    @given(n=st.integers(min_value=2, max_value=64))
+    def test_ring(self, n):
+        check_invariants(Ring(n), regular=True)
+
+    @given(dim=st.integers(min_value=1, max_value=6))
+    def test_hypercube(self, dim):
+        check_invariants(Hypercube(dim), regular=True)
+
+    @given(side=st.integers(min_value=2, max_value=7))
+    def test_torus(self, side):
+        check_invariants(Torus2D(side * side), regular=True)
+
+    @given(m=st.integers(min_value=2, max_value=7))
+    def test_debruijn(self, m):
+        # de Bruijn graphs have self-loop-collapsed corner nodes
+        # (all-zeros / all-ones), so they are not regular
+        check_invariants(DeBruijn(m), regular=False)
+
+    @given(
+        n=st.integers(min_value=5, max_value=40),
+        d=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_random_regular(self, n, d, seed):
+        if (n * d) % 2 or d >= n:
+            return
+        check_invariants(RandomRegular(n, d, seed=seed), regular=True)
+
+    @given(rows=st.integers(min_value=2, max_value=6),
+           cols=st.integers(min_value=2, max_value=6))
+    def test_mesh(self, rows, cols):
+        check_invariants(Mesh2D(rows=rows, cols=cols), regular=False)
+
+    @given(n=st.integers(min_value=2, max_value=40))
+    def test_star(self, n):
+        check_invariants(Star(n), regular=False)
+
+
+class TestChurnPreservesConnectivity:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        rate=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_rewires_keep_network_connected(self, seed, rate):
+        from repro.dynnet import ChurnPlan, ChurnSchedule
+
+        topo = RandomRegular(16, 4, seed=0)
+        plan = ChurnPlan.sample(topo, rate=rate, horizon=20.0, seed=seed)
+        # ChurnSchedule replays every rewire against the evolving
+        # adjacency and raises if any step disconnects the network
+        schedule = ChurnSchedule(topo, plan)
+        adj = [set(int(v) for v in topo.neighbors(i)) for i in range(topo.n)]
+        for ev in schedule.events:
+            if ev.kind != "rewire":
+                continue
+            u, v = ev.drop
+            x, y = ev.add
+            adj[u].discard(v), adj[v].discard(u)
+            adj[x].add(y), adj[y].add(x)
+            seen, stack = {0}, [0]
+            while stack:
+                node = stack.pop()
+                for w in adj[node]:
+                    if w not in seen:
+                        seen.add(w)
+                        stack.append(w)
+            assert len(seen) == topo.n
+
+
+class TestGoldenAdjacencyHashes:
+    """Seed-stability pins: these digests must never change silently."""
+
+    GOLDEN = {
+        ("random_regular", 32, 4, 0):
+            "fafe4d6ba6ebca1226f0fe253f25330f8a89804d5077a423250469c93350c4f3",
+        ("random_regular", 32, 4, 1):
+            "11a62f56f47394ff4bbf869004ba5953b883306dc894c5996e1adf90de84ef69",
+        ("random_regular", 64, 6, 0):
+            "11ab3b77b8dcefb7e9b65d3978bee0ed7a0dd63fbf34cc5a34f9939f7769db50",
+        ("debruijn", 4):
+            "4f5eaba129a0f1b29b4652fdc2173b60a2b2caad19efc8614d17281acdad9911",
+        ("debruijn", 5):
+            "bdf773cb3de70108efde8d2d0602dfe173c70da37b79a71cdad33452cdc75d38",
+        ("ring", 8):
+            "d8d93c6d69af245b007307e77eea395451b823dd458f56c8d40279c17f7b79e5",
+    }
+
+    @pytest.mark.parametrize(
+        "n,d,seed",
+        [(32, 4, 0), (32, 4, 1), (64, 6, 0)],
+    )
+    def test_random_regular_pinned(self, n, d, seed):
+        g = RandomRegular(n, d, seed=seed)
+        assert g.adjacency_hash() == self.GOLDEN[("random_regular", n, d, seed)]
+
+    @pytest.mark.parametrize("m", [4, 5])
+    def test_debruijn_pinned(self, m):
+        assert DeBruijn(m).adjacency_hash() == self.GOLDEN[("debruijn", m)]
+
+    def test_ring_pinned(self):
+        assert Ring(8).adjacency_hash() == self.GOLDEN[("ring", 8)]
+
+    def test_hash_distinguishes_seeds(self):
+        assert (
+            RandomRegular(32, 4, seed=0).adjacency_hash()
+            != RandomRegular(32, 4, seed=1).adjacency_hash()
+        )
+
+    def test_hash_reflects_adjacency_only(self):
+        assert (
+            RandomRegular(32, 4, seed=7).adjacency_hash()
+            == RandomRegular(32, 4, seed=7).adjacency_hash()
+        )
+
+    def test_generator_seed_accepts_rng(self):
+        a = RandomRegular(20, 4, seed=np.random.default_rng(3))
+        b = RandomRegular(20, 4, seed=np.random.default_rng(3))
+        assert a.adjacency_hash() == b.adjacency_hash()

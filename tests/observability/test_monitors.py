@@ -197,6 +197,57 @@ class TestMonitorSuite:
         assert "theorem4_band" in out and "OK" in out
 
 
+class TestGraceWindows:
+    """Churn-aware suppression (repro.dynnet opens these windows)."""
+
+    OUT = np.array([40, 1, 1, 1], dtype=np.int64)
+
+    def test_warn_monitors_suppressed_inside_window(self):
+        m = Theorem4BandMonitor(PARAMS, grace=1)
+        suite = MonitorSuite([m])
+        suite.grace(0.0, 10.0)
+        for k in range(8):
+            suite.observe(float(k), self.OUT)
+        assert suite.ok()
+        assert m.breach_count == 0
+        assert suite.suppressed_snapshots == 8
+
+    def test_observation_resumes_after_window(self):
+        m = Theorem4BandMonitor(PARAMS, grace=1)
+        suite = MonitorSuite([m])
+        suite.grace(0.0, 3.0)
+        for k in range(8):
+            suite.observe(float(k), self.OUT)
+        # t=0,1,2 suppressed; t=3.. breach immediately (grace=1)
+        assert suite.suppressed_snapshots == 3
+        assert not suite.ok()
+        assert suite.breaches[0].t == 3.0
+
+    def test_critical_monitors_still_observe(self):
+        eng = make_engine()
+        eng.l[0] += 1  # break the conservation laws
+        m = ConservationMonitor()
+        suite = MonitorSuite([m])
+        suite.grace(0.0, 100.0)
+        suite.observe(1.0, eng.l.copy(), eng)
+        assert not suite.ok()
+        assert suite.breaches[0].severity == "critical"
+
+    def test_windows_extend_never_shrink(self):
+        suite = MonitorSuite.standard(PARAMS)
+        suite.grace(0.0, 10.0)
+        suite.grace(2.0, 1.0)  # would end at 3.0 — ignored
+        assert suite.in_grace(9.9)
+        suite.grace(5.0, 10.0)  # extends to 15.0
+        assert suite.in_grace(14.9)
+        assert not suite.in_grace(15.0)
+
+    def test_rejects_negative_duration(self):
+        suite = MonitorSuite.standard(PARAMS)
+        with pytest.raises(ValueError):
+            suite.grace(0.0, -1.0)
+
+
 @pytest.mark.tier2
 class TestAcceptance:
     """The issue's acceptance criterion, both arms."""

@@ -157,6 +157,95 @@ class TestAsyncAndChaosCommands:
         assert "chaos" in capsys.readouterr().out
 
 
+class TestChurnCommand:
+    def test_smoke_writes_schema_valid_json(self, tmp_path, capsys):
+        assert main(["churn", "--smoke", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem-4 band" in out
+        assert "wrote" in out and "schema valid" in out
+        import json
+
+        from repro.experiments.dynamics import validate_dynamics
+
+        doc = json.loads((tmp_path / "dynamics.json").read_text())
+        assert validate_dynamics(doc) == []
+        assert len({c["topology"] for c in doc["cells"]}) >= 3
+
+    def test_smoke_deterministic_per_seed(self, tmp_path, capsys):
+        import json
+
+        a, b = tmp_path / "a", tmp_path / "b"
+        assert main(["churn", "--smoke", "--seed", "3", "--out", str(a)]) == 0
+        assert main(["churn", "--smoke", "--seed", "3", "--out", str(b)]) == 0
+        capsys.readouterr()
+        da = json.loads((a / "dynamics.json").read_text())
+        db = json.loads((b / "dynamics.json").read_text())
+        da.pop("backend"), db.pop("backend")
+        assert da == db
+
+    def test_axis_overrides(self, tmp_path, capsys):
+        assert main([
+            "churn", "--smoke", "--topologies", "ring",
+            "--churn-rates", "0.0", "--skews", "0.0,0.5",
+            "--out", str(tmp_path),
+        ]) == 0
+        import json
+
+        doc = json.loads((tmp_path / "dynamics.json").read_text())
+        assert len(doc["cells"]) == 2
+        assert {c["topology"] for c in doc["cells"]} == {"ring"}
+
+    def test_list_mentions_churn(self, capsys):
+        main(["list"])
+        assert "churn" in capsys.readouterr().out
+
+    def test_report_dynamics(self, tmp_path, capsys):
+        assert main(["churn", "--smoke", "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        path = tmp_path / "dynamics.json"
+        assert main(["report", "--dynamics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "# dynamics report" in out
+        assert "Theorem-4 band" in out
+
+
+class TestUnknownNameExit2:
+    """Unknown plan/profile/topology names exit 2 and list the choices."""
+
+    def check(self, argv, needle, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "error: unknown" in err
+        assert needle in err
+
+    def test_chaos_unknown_plan(self, capsys):
+        self.check(
+            ["chaos", "--plan", "bogus"], "known plans: crash_burst", capsys
+        )
+
+    def test_serve_unknown_traffic(self, capsys):
+        self.check(
+            ["serve", "--smoke", "--traffic", "bogus"],
+            "known traffic profiles: poisson",
+            capsys,
+        )
+
+    def test_churn_unknown_topology(self, capsys):
+        self.check(
+            ["churn", "--smoke", "--topologies", "bogus"],
+            "known topologies:",
+            capsys,
+        )
+
+    def test_churn_bad_rate_list(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["churn", "--smoke", "--churn-rates", "a,b"])
+        assert exc.value.code == 2
+        assert "comma-separated numbers" in capsys.readouterr().err
+
+
 class TestReportAndSpansCommands:
     def test_report_clean_sync_run(self, capsys):
         assert main(["report", "--n", "8", "--steps", "60", "--seed", "3"]) == 0
