@@ -16,7 +16,8 @@ writes the raw series as CSV files.
 Observability tools (see docs/OBSERVABILITY.md)::
 
     repro trace [--n 16] [--steps 200] [--seed 0] [--f 1.3] [--delta 2]
-                [--trace-out trace.ndjson] [--capacity N]
+                [--trace-out trace.ndjson] [--export chrome|ndjson]
+                [--capacity N]
     repro trace --diff a.ndjson b.ndjson
     repro trace --engine async [--horizon 50]
     repro profile [--n 64] [--steps 300] [--seed 0]
@@ -24,6 +25,7 @@ Observability tools (see docs/OBSERVABILITY.md)::
     repro bench [--sizes 64,...,1000000 | -n N] [--profile quiet,...]
                 [--ticks T] [--baseline REV] [--out DIR]
                 [--backend native|multiprocessing] [--jobs N]
+                [--trace-out bench_trace.json]
     repro chaos [--n 32] [--horizon 80] [--plan crash_burst|stragglers|
                 partition|lossy] [--crash-frac 0.1] [--message-loss 0.01]
                 [--out DIR] [--backend native|multiprocessing] [--jobs N]
@@ -32,6 +34,7 @@ Observability tools (see docs/OBSERVABILITY.md)::
                 [--backend native|multiprocessing] [--jobs N]
     repro report [--engine sync|async] [--faulted] [--report-out run.html]
     repro report --compare REF.json CAND.json [--tolerance 0.75]
+    repro report --compare results/bench_history.ndjson CAND.json
     repro report --service results/service.json [--report-out run.html]
     repro report --dynamics results/dynamics.json [--report-out run.html]
     repro spans [--engine sync|async] [--faulted] | repro spans --trace-in t.ndjson
@@ -41,6 +44,9 @@ Live service mode (see docs/SERVICE.md)::
     repro serve [--smoke] [--chaos] [--traffic poisson|bursty|diurnal]
                 [--rate R] [--queue-cap K] [--n N] [--horizon H] [--seed S]
                 [--record trace.json | --replay trace.json] [--out DIR]
+                [--telemetry PORT [--telemetry-hold SECONDS]]
+    repro top [--url http://127.0.0.1:9100/metrics] [--once]
+              [--frames N] [--interval S]
 
 ``repro serve`` runs one service episode: open-loop traffic through
 the admission controller into bounded per-processor queues balanced by
@@ -54,6 +60,20 @@ degradation-state timeline, worst sojourns); ``--record`` saves the
 offered arrival stream, ``--replay`` re-runs a saved one bit-exactly.
 ``repro report --service`` renders a saved service document as the
 report's service-run section.
+
+Live telemetry (see docs/OBSERVABILITY.md § Telemetry): ``--telemetry
+PORT`` samples the running episode into a windowed time series and
+serves it as a Prometheus text exposition on ``/metrics`` (``0`` picks
+any free port; ``--telemetry-hold`` keeps the endpoint up after the
+episode so scrapers catch the final state).  ``repro top`` is the
+matching live dashboard — it scrapes an endpoint on an interval and
+renders band occupancy, sojourn quantiles, admission/shed rates and
+the degradation state in place (``q`` quits, ``p`` pauses; ``--once``
+prints a single frame without curses).  ``repro trace --export
+chrome`` (and ``repro bench --trace-out``) write Chrome trace-event
+JSON for Perfetto / ``chrome://tracing``; a bench export merges every
+worker's span buffer into one causally ordered timeline stamped with
+the run id the batch backend propagated across the process boundary.
 
 ``repro trace`` records one deterministic §7 run with the structured
 event tracer on, prints a summary, cross-checks the trace against the
@@ -137,12 +157,13 @@ def _build_parser() -> argparse.ArgumentParser:
             "chaos",
             "churn",
             "serve",
+            "top",
             "report",
             "spans",
         ],
         help="artifact to regenerate, an observability tool "
-        "(trace/profile/bench/chaos/churn/report/spans), or the live "
-        "service mode (serve)",
+        "(trace/profile/bench/chaos/churn/report/spans), the live "
+        "service mode (serve), or the telemetry dashboard (top)",
     )
     p.add_argument("--runs", type=int, default=None, help="runs per config (paper: 100)")
     p.add_argument("--trials", type=int, default=20_000, help="MC trials (fig6/theorem12)")
@@ -160,7 +181,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cap", type=int, default=4, help="borrow capacity C (trace/profile)")
     p.add_argument(
         "--trace-out", type=Path, default=None,
-        help="write the recorded trace as NDJSON to this file (trace)",
+        help="write the recorded trace to this file (trace; bench: "
+        "export the merged multi-worker bench timeline as a Chrome "
+        "trace here)",
+    )
+    p.add_argument(
+        "--export", type=str, default=None, metavar="FORMAT",
+        help="trace output format for --trace-out (trace; "
+        "chrome|ndjson; default ndjson — chrome writes a Chrome "
+        "trace-event JSON for Perfetto / chrome://tracing)",
     )
     p.add_argument(
         "--diff", type=Path, nargs=2, metavar=("A", "B"), default=None,
@@ -265,6 +294,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--replay", type=Path, default=None,
         help="replay a recorded arrival stream instead of generating "
         "traffic (serve)",
+    )
+    p.add_argument(
+        "--telemetry", type=int, default=None, metavar="PORT",
+        help="serve live telemetry as a Prometheus text exposition on "
+        "this port while the episode runs (serve; 0 = any free port; "
+        "see docs/OBSERVABILITY.md)",
+    )
+    p.add_argument(
+        "--telemetry-hold", type=float, default=0.0, metavar="SECONDS",
+        help="keep the telemetry endpoint up this long after the "
+        "episode finishes so scrapers can catch the final state "
+        "(serve; default 0)",
+    )
+    # top options (docs/OBSERVABILITY.md)
+    p.add_argument(
+        "--url", type=str, default=None, metavar="URL",
+        help="telemetry endpoint to scrape "
+        "(top; default http://127.0.0.1:9100/metrics)",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="print a single dashboard frame without curses (top)",
+    )
+    p.add_argument(
+        "--frames", type=int, default=None,
+        help="stop the dashboard after this many frames (top; CI)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=1.0,
+        help="scrape interval in seconds (top; default 1.0)",
     )
     p.add_argument(
         "--service", type=Path, default=None, metavar="SERVICE_JSON",
@@ -434,6 +493,15 @@ def _run_trace(args: argparse.Namespace) -> str:
     )
     from repro.observability.tracer import read_ndjson
 
+    if args.export is not None:
+        _check_choice("export format", args.export, ("ndjson", "chrome"))
+        if args.trace_out is None:
+            print(
+                "error: --export needs --trace-out to name the output file",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+
     if args.diff:
         a_path, b_path = args.diff
         a = summarise_trace(read_ndjson(a_path))
@@ -489,9 +557,20 @@ def _run_trace(args: argparse.Namespace) -> str:
         )
     if args.trace_out:
         args.trace_out.parent.mkdir(parents=True, exist_ok=True)
-        count = tracer.to_ndjson(args.trace_out)
-        validate_ndjson(args.trace_out)
-        lines.append(f"wrote {count} events to {args.trace_out} (schema valid)")
+        if args.export == "chrome":
+            from repro.observability.export import write_chrome_trace
+
+            count = write_chrome_trace(args.trace_out, tracer.events)
+            lines.append(
+                f"wrote {count} Chrome trace events to {args.trace_out} "
+                "(open in Perfetto / chrome://tracing)"
+            )
+        else:
+            count = tracer.to_ndjson(args.trace_out)
+            validate_ndjson(args.trace_out)
+            lines.append(
+                f"wrote {count} events to {args.trace_out} (schema valid)"
+            )
     return "\n".join(lines)
 
 
@@ -565,6 +644,7 @@ def _check_backend(args: argparse.Namespace) -> None:
 def _run_bench(args: argparse.Namespace) -> str:
     from repro.experiments.microbench import (
         PROFILES,
+        append_bench_history,
         bench_report,
         render_report,
         write_bench_json,
@@ -604,6 +684,7 @@ def _run_bench(args: argparse.Namespace) -> str:
         engine_seed=args.seed or 7,
         backend=args.backend,
         jobs=args.jobs,
+        trace=args.trace_out is not None,
     )
     if args.baseline and doc.get("baseline", {}).get("error"):
         raise SystemExit(
@@ -613,7 +694,23 @@ def _run_bench(args: argparse.Namespace) -> str:
     out_dir = args.out or Path("results")
     path = out_dir / "BENCH_engine.json"
     write_bench_json(path, doc)
-    return render_report(doc) + f"\n\nwrote {path}"
+    tail = [f"wrote {path}"]
+    history_path = out_dir / "bench_history.ndjson"
+    append_bench_history(history_path, doc)
+    tail.append(
+        f"appended perf trajectory record to {history_path} "
+        "(repro report --compare reads the last line as a baseline)"
+    )
+    if args.trace_out is not None:
+        from repro.observability.export import write_chrome_trace
+
+        args.trace_out.parent.mkdir(parents=True, exist_ok=True)
+        count = write_chrome_trace(args.trace_out, doc["_merged_trace"])
+        tail.append(
+            f"wrote {count} Chrome trace events to {args.trace_out} "
+            "(merged multi-worker bench timeline; open in Perfetto)"
+        )
+    return render_report(doc) + "\n\n" + "\n".join(tail)
 
 
 def _observed_run(args: argparse.Namespace):
@@ -702,9 +799,18 @@ def _run_report(args: argparse.Namespace) -> str:
     from repro.observability.spans import spans_from_trace
 
     if args.compare:
+        from repro.observability import load_bench_history
+
+        def _load(path: Path) -> dict:
+            # a .ndjson reference is a bench-history trajectory: its
+            # last line stands in as the comparison baseline
+            if path.suffix == ".ndjson":
+                return load_bench_history(path)
+            return load_bench(path)
+
         ref_path, cand_path = args.compare
         text, ok = compare_bench(
-            load_bench(ref_path), load_bench(cand_path),
+            _load(ref_path), _load(cand_path),
             tolerance=args.tolerance,
         )
         if not ok:
@@ -942,7 +1048,28 @@ def _run_serve(args: argparse.Namespace) -> str:
 
         replay = ArrivalTrace.from_json(args.replay)
 
-    run = service_run(cfg, chaos=args.chaos, replay=replay)
+    telemetry = server = None
+    if args.telemetry is not None:
+        from repro.observability import TelemetrySampler
+        from repro.observability.export import TelemetryServer
+
+        telemetry = TelemetrySampler()
+        server = TelemetryServer(telemetry, port=args.telemetry)
+        server.start()
+        # announce before the run so scrapers can attach while the
+        # episode executes (the result text only prints at the end)
+        print(f"telemetry: serving {server.url}", flush=True)
+
+    try:
+        run = service_run(cfg, chaos=args.chaos, replay=replay,
+                          telemetry=telemetry)
+        if server is not None and args.telemetry_hold > 0:
+            # keep the endpoint (and the sampler's final window) up for
+            # post-run scrapers — the CI smoke job's second scrape
+            time.sleep(args.telemetry_hold)
+    finally:
+        if server is not None:
+            server.stop()
     problems = validate_service(run.doc)
     if problems:  # pragma: no cover - builder/validator disagreement
         raise SystemExit(
@@ -952,6 +1079,11 @@ def _run_serve(args: argparse.Namespace) -> str:
     out_dir = args.out or Path("results")
     path = write_service_json(out_dir / "service.json", run.doc)
     lines = [render_service(run.doc), "", f"wrote {path} (schema valid)"]
+    if telemetry is not None:
+        lines.append(
+            f"telemetry: {telemetry.snapshot()['samples']} samples "
+            f"served at {server.url} (now stopped)"
+        )
     if args.record:
         run.trace.to_json(args.record)
         lines.append(
@@ -960,6 +1092,18 @@ def _run_serve(args: argparse.Namespace) -> str:
     if args.replay:
         lines.append(f"replayed {len(replay)} arrivals from {args.replay}")
     return "\n".join(lines)
+
+
+def _run_top(args: argparse.Namespace) -> int:
+    from repro.observability.top import run_top
+
+    url = args.url or "http://127.0.0.1:9100/metrics"
+    return run_top(
+        url,
+        interval=args.interval,
+        frames=args.frames,
+        once=args.once,
+    )
 
 
 _ALL = [
@@ -983,6 +1127,10 @@ _ALL = [
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "top":
+        # interactive: no timing header, exit code straight from the
+        # dashboard loop
+        return _run_top(args)
     if args.command == "list":
         print("available artifacts:", ", ".join(_ALL))
         print(
@@ -998,6 +1146,10 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "service mode: serve [--smoke --chaos], report --service "
             "(docs/SERVICE.md)"
+        )
+        print(
+            "telemetry: serve --telemetry PORT, top [--once], "
+            "trace --export chrome|ndjson (docs/OBSERVABILITY.md)"
         )
         return 0
     commands = _ALL if args.command == "all" else [args.command]

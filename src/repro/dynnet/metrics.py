@@ -12,6 +12,7 @@ import numpy as np
 __all__ = [
     "normalized_extreme_ratio",
     "band_occupancy",
+    "rolling_band_occupancy",
     "churn_recovery_times",
 ]
 
@@ -52,6 +53,29 @@ def band_occupancy(
     mask = times >= warmup
     if not mask.any():
         return float("nan")
+    return float((rho[mask] <= band).mean())
+
+
+def rolling_band_occupancy(
+    times: np.ndarray, rho: np.ndarray, band: float, *, window: float
+) -> float:
+    """Band occupancy over the trailing ``window`` time units.
+
+    The time-local variant of :func:`band_occupancy` the live telemetry
+    layer samples: the fraction of snapshots with ``rho <= band`` among
+    those within ``window`` of the most recent snapshot (always at
+    least the latest snapshot itself, so the result is never NaN on a
+    non-empty series).
+    """
+    times = np.asarray(times, dtype=float)
+    rho = np.asarray(rho, dtype=float)
+    if times.shape != rho.shape:
+        raise ValueError(f"times {times.shape} and rho {rho.shape} disagree")
+    if times.size == 0:
+        return float("nan")
+    if window < 0:
+        raise ValueError(f"window must be >= 0, got {window}")
+    mask = times >= times[-1] - window
     return float((rho[mask] <= band).mean())
 
 

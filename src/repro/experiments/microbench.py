@@ -127,7 +127,10 @@ __all__ = [
     "ENGINES",
     "DEFAULT_NS",
     "QUIET_ONLY_ABOVE",
+    "BENCH_HISTORY_SCHEMA",
+    "append_bench_history",
     "bench_report",
+    "history_record",
     "load_engine_module_at_rev",
     "run_microbench",
     "write_bench_json",
@@ -355,9 +358,31 @@ def git_rev(repo_root: Path | None = None) -> str:
 
 
 def _bench_point(task: tuple) -> dict[str, Any]:
-    """One (n, profile, engine) measurement (module-level so it pickles)."""
-    n, profile, params, engine_seed, workload_seed, engine, ticks = task
-    return run_microbench(
+    """One (n, profile, engine) measurement (module-level so it pickles).
+
+    With the optional trailing ``trace`` flag set, the measurement is
+    wrapped in a balancing-operation-style span recorded into a private
+    per-task tracer, and the tracer ships home as a ``"_trace"``
+    :func:`~repro.observability.telemetry.worker_payload` — stamped
+    with the trace context the batch backend propagated into this
+    process, so the parent can merge every point into one causal
+    timeline (``repro bench --trace-out``).
+    """
+    n, profile, params, engine_seed, workload_seed, engine, ticks = task[:7]
+    trace = bool(task[7]) if len(task) > 7 else False
+    tracer = spans = sid = None
+    if trace:
+        from repro.observability import SpanRecorder, Tracer
+        from repro.observability.telemetry import current_context
+
+        tracer = Tracer()
+        spans = SpanRecorder(tracer)
+        ctx = current_context()
+        worker = ctx.worker if ctx is not None else -1
+        sid = spans.start(
+            t=0.0, op=f"bench:{profile}@{n}", proc=max(worker, 0)
+        )
+    rec = run_microbench(
         n,
         profile,
         params=params,
@@ -367,6 +392,12 @@ def _bench_point(task: tuple) -> dict[str, Any]:
         ticks=ticks,
         profile_sections=True,
     )
+    if trace:
+        from repro.observability.telemetry import worker_payload
+
+        spans.end(sid, t=float(rec["elapsed_sec"]), status="completed")
+        rec["_trace"] = worker_payload(tracer)
+    return rec
 
 
 def bench_report(
@@ -383,6 +414,8 @@ def bench_report(
     workload_seed: int = 123,
     backend: str | None = None,
     jobs: int | None = None,
+    trace: bool = False,
+    run_id: str | None = None,
 ) -> dict[str, Any]:
     """Full benchmark document (see module docstring for the schema).
 
@@ -405,6 +438,17 @@ def bench_report(
     The baseline grid always runs in-process: the reconstructed
     historical module exists only in this interpreter and cannot cross
     a pickle boundary.
+
+    With ``trace=True`` the main grid records one span per measurement
+    point into per-task tracers, threads a
+    :class:`~repro.observability.telemetry.TraceContext` (``run_id``,
+    defaulting to ``bench-<git rev>``) through the batch backend so
+    every point is stamped with its worker lane, and merges the
+    per-worker buffers into ``doc["_merged_trace"]`` — one causally
+    ordered timeline rooted at a parent ``bench:grid`` span.  The
+    leading underscore keeps it out of the serialised report (see
+    :func:`write_bench_json`); ``repro bench --trace-out`` exports it
+    as a Chrome/Perfetto trace instead.
     """
     from repro.simulation.backends import get_client
 
@@ -440,15 +484,36 @@ def bench_report(
         if engine == "columnar" and fastpath_max_n > 0
         else []
     )
+    parent_tracer = parent_spans = ctx = None
+    root = -1
+    trace_payloads: list[dict[str, Any]] = []
+    if trace:
+        from repro.observability import SpanRecorder, Tracer
+        from repro.observability.telemetry import TraceContext
+
+        parent_tracer = Tracer()
+        parent_spans = SpanRecorder(parent_tracer)
+        root = parent_spans.start(t=0.0, op="bench:grid", proc=0)
+        ctx = TraceContext(
+            run_id or f"bench-{doc['git_rev']}", parent_span=root
+        )
+        # only the main grid is traced: the fastpath/baseline re-runs
+        # measure the same points again and would double every lane
+        tasks = [t + (True,) for t in tasks]
     finals: dict[tuple[str, int], list[int]] = {}
     fast_runs: list[dict[str, Any]] = []
     with get_client(backend, jobs=jobs) as client:
+        if ctx is not None:
+            client.trace_context = ctx
         # chunksize=1: one (n, profile) point per dispatch, so a
         # parallel backend interleaves sizes instead of striping them
         for task, rec in zip(
             tasks, client.map_ordered(_bench_point, tasks, chunksize=1)
         ):
             finals[(task[1], task[0])] = rec.pop("_l")
+            payload = rec.pop("_trace", None)
+            if payload is not None:
+                trace_payloads.append(payload)
             doc["runs"].append(rec)
         for task, rec in zip(
             fast_tasks,
@@ -461,6 +526,18 @@ def bench_report(
                 )
             fast_runs.append(rec)
         doc["backend"] = client.used_backend
+
+    if trace:
+        from repro.observability.telemetry import (
+            merge_worker_traces,
+            worker_payload,
+        )
+
+        grid_elapsed = sum(r["elapsed_sec"] for r in doc["runs"])
+        parent_spans.end(root, t=float(grid_elapsed), status="completed")
+        doc["_merged_trace"] = merge_worker_traces(
+            [worker_payload(parent_tracer, ctx)] + trace_payloads
+        )
 
     if fast_tasks:
         fast_tps = {
@@ -542,8 +619,68 @@ def bench_report(
 
 
 def write_bench_json(path: Path, doc: dict[str, Any]) -> None:
+    """Serialise a bench document, dropping ``_``-prefixed working keys
+    (``_merged_trace`` and friends are in-memory artefacts, not report
+    rows — traces are exported separately via ``--trace-out``)."""
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(doc, indent=2) + "\n")
+    slim = {k: v for k, v in doc.items() if not k.startswith("_")}
+    path.write_text(json.dumps(slim, indent=2) + "\n")
+
+
+#: one-line-per-run NDJSON perf trajectory (``results/bench_history.ndjson``)
+BENCH_HISTORY_SCHEMA = "repro.bench_history.v1"
+
+
+def history_record(
+    doc: dict[str, Any], *, date: str | None = None
+) -> dict[str, Any]:
+    """Condense a bench document into one perf-trajectory record.
+
+    Keeps exactly what a regression hunt needs — rev, date, backend,
+    and per-point ``ticks_per_sec`` / ``total_ops`` / ``peak_rss_bytes``
+    — so the history file stays grep-able and one line per run.
+    """
+    import datetime
+
+    if date is None:
+        date = datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        )
+    return {
+        "schema": BENCH_HISTORY_SCHEMA,
+        "git_rev": doc.get("git_rev", "unknown"),
+        "date": date,
+        "backend": doc.get("backend", "native"),
+        "runs": [
+            {
+                "n": r["n"],
+                "profile": r["profile"],
+                "engine": r.get("engine", "fast"),
+                "ticks_per_sec": r["ticks_per_sec"],
+                "total_ops": r["total_ops"],
+                "peak_rss_bytes": r["peak_rss_bytes"],
+            }
+            for r in doc.get("runs", [])
+        ],
+    }
+
+
+def append_bench_history(
+    path: Path, doc: dict[str, Any], *, date: str | None = None
+) -> dict[str, Any]:
+    """Append one :func:`history_record` line to an NDJSON history file.
+
+    Creates the file (and parents) on first use; returns the record.
+    ``repro report --compare history.ndjson`` reads the *last* line
+    back as a comparison baseline (see
+    :func:`repro.observability.report.load_bench_history`).
+    """
+    record = history_record(doc, date=date)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+    return record
 
 
 def render_report(doc: dict[str, Any]) -> str:

@@ -34,6 +34,15 @@ package turns every simulation into an inspectable trace:
 * :mod:`repro.observability.report` — render a traced run as a
   self-contained markdown/HTML report; diff two bench documents for
   regressions (``repro report`` / ``repro report --compare``).
+* :mod:`repro.observability.telemetry` — live telemetry: a windowed
+  time-series sampler over the metrics/SLO/monitor state, plus the
+  cross-process :class:`TraceContext` that stamps per-worker trace
+  buffers so they merge into one causal timeline.
+* :mod:`repro.observability.export` — telemetry consumers: Prometheus
+  text exposition over HTTP (``repro serve --telemetry``) and Chrome
+  trace-event / Perfetto export (``repro trace --export chrome``).
+* :mod:`repro.observability.top` — the ``repro top`` live terminal
+  dashboard scraping a telemetry endpoint.
 
 The instrumentation contract — which events exist, what fields they
 carry and which theorem or figure each one supports — is documented in
@@ -81,6 +90,7 @@ from repro.observability.report import (
     build_report,
     compare_bench,
     load_bench,
+    load_bench_history,
     sparkline,
     to_html,
 )
@@ -91,6 +101,15 @@ from repro.observability.spans import (
     render_waterfall,
     spans_from_trace,
     worst_span,
+)
+from repro.observability.telemetry import (
+    TelemetrySampler,
+    TraceContext,
+    current_context,
+    event_time,
+    merge_worker_traces,
+    set_current_context,
+    worker_payload,
 )
 
 __all__ = [
@@ -137,5 +156,13 @@ __all__ = [
     "to_html",
     "sparkline",
     "load_bench",
+    "load_bench_history",
     "compare_bench",
+    "TelemetrySampler",
+    "TraceContext",
+    "current_context",
+    "set_current_context",
+    "worker_payload",
+    "merge_worker_traces",
+    "event_time",
 ]

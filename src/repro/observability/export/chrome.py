@@ -1,0 +1,225 @@
+"""Chrome trace-event / Perfetto export of recorded traces.
+
+Renders a schema-valid event stream — a single tracer buffer or a
+:func:`~repro.observability.telemetry.merge_worker_traces` merged
+multi-worker timeline — as the `Chrome trace-event JSON format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_,
+loadable in Perfetto (ui.perfetto.dev) or ``chrome://tracing`` as a
+flamegraph timeline.
+
+Mapping (model time ``t``/``time`` becomes microseconds):
+
+* ``span_start`` / ``span_end`` — duration begin/end (``B``/``E``) on
+  the span's processor lane; every ``B`` carries the run id from the
+  stream's ``trace_context`` provenance events in its ``args``, which
+  is how a merged multiprocessing timeline shows which run each worker
+  span belongs to;
+* ``span_point`` — thread-scoped instant on the owning span's lane;
+* ``fault_crash``/``fault_recover`` and ``node_leave``/``node_join`` —
+  paired into complete (``X``) windows on the affected processor's
+  lane, so crash windows and churn leave windows read as solid blocks
+  under the spans they disrupt (unpaired openers close at the last
+  event time);
+* ``trace_context`` / ``trace_truncated`` and other instantaneous
+  events (``topology_change``, ``monitor_breach``, ...) — instants,
+  process-scoped where no processor is named;
+* profiler sections (when a profiler is passed) — one aggregate ``X``
+  slab per section, laid end to end on a separate "profiler
+  (aggregate)" process: the profiler stores totals, not occurrences,
+  so the lane is a summary, not a timeline.
+
+``tick``/``async_deliver`` bookkeeping events are skipped — they would
+bury the balancing story under thousands of identical instants.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Mapping, Sequence
+
+from repro.observability.telemetry import event_time
+
+__all__ = ["chrome_trace_events", "write_chrome_trace"]
+
+#: model-time unit -> trace microseconds (1 model unit = 1 ms reads well)
+_SCALE = 1_000.0
+
+_PID_RUN = 1
+_PID_PROFILER = 2
+_SKIP = {"tick", "async_deliver"}
+
+#: window-opening event type -> (closer type, lane-id field, label)
+_WINDOWS = {
+    "fault_crash": ("fault_recover", "proc", "crash"),
+    "node_leave": ("node_join", "proc", "departed"),
+}
+
+
+def _lane(ev: Mapping) -> int:
+    """The thread lane an event renders on: its processor, if it names
+    one (initiator for balancing events, proc otherwise), else 0."""
+    for key in ("proc", "initiator", "debtor", "src"):
+        if key in ev:
+            return int(ev[key])
+    return 0
+
+
+def chrome_trace_events(
+    events: Sequence[Mapping],
+    *,
+    profiler=None,
+    run_id: str | None = None,
+) -> list[dict]:
+    """Render ``events`` as a list of Chrome trace-event dicts.
+
+    ``run_id`` overrides the run id stamped into span ``args``; by
+    default it is read from the stream's first ``trace_context`` event
+    (empty when the stream has none — single-process traces).
+    """
+    if run_id is None:
+        run_id = next(
+            (
+                str(ev.get("run_id", ""))
+                for ev in events
+                if ev.get("type") == "trace_context"
+            ),
+            "",
+        )
+    out: list[dict] = [
+        {
+            "ph": "M", "pid": _PID_RUN, "tid": 0, "name": "process_name",
+            "args": {"name": f"repro run {run_id}".strip()},
+        },
+    ]
+    last_t = max((event_time(ev) for ev in events), default=0.0)
+    span_lane: dict[int, int] = {}
+    open_windows: dict[tuple[str, int], float] = {}
+    for ev in events:
+        etype = ev.get("type", "")
+        if etype in _SKIP:
+            continue
+        ts = event_time(ev) * _SCALE
+        if etype == "span_start":
+            lane = int(ev.get("proc", 0))
+            span_lane[int(ev["span"])] = lane
+            out.append({
+                "ph": "B", "pid": _PID_RUN, "tid": lane, "ts": ts,
+                "name": str(ev.get("op", "span")), "cat": "span",
+                "args": {"span": int(ev["span"]), "run_id": run_id},
+            })
+        elif etype == "span_end":
+            lane = span_lane.get(int(ev["span"]), 0)
+            out.append({
+                "ph": "E", "pid": _PID_RUN, "tid": lane, "ts": ts,
+                "args": {
+                    "status": str(ev.get("status", "")),
+                    "migrated": int(ev.get("migrated", 0)),
+                },
+            })
+        elif etype == "span_point":
+            lane = span_lane.get(int(ev["span"]), 0)
+            out.append({
+                "ph": "i", "s": "t", "pid": _PID_RUN, "tid": lane, "ts": ts,
+                "name": str(ev.get("phase", "point")), "cat": "span",
+            })
+        elif etype in _WINDOWS:
+            _, key, _ = _WINDOWS[etype]
+            open_windows[(etype, int(ev.get(key, 0)))] = event_time(ev)
+        elif etype in {closer for closer, _, _ in _WINDOWS.values()}:
+            for opener, (closer, key, label) in _WINDOWS.items():
+                if etype != closer:
+                    continue
+                lane = int(ev.get(key, 0))
+                t0 = open_windows.pop((opener, lane), None)
+                if t0 is None:
+                    out.append({
+                        "ph": "i", "s": "t", "pid": _PID_RUN, "tid": lane,
+                        "ts": ts, "name": etype, "cat": "fault",
+                    })
+                else:
+                    out.append({
+                        "ph": "X", "pid": _PID_RUN, "tid": lane,
+                        "ts": t0 * _SCALE,
+                        "dur": max(event_time(ev) - t0, 0.0) * _SCALE,
+                        "name": label, "cat": "fault",
+                    })
+        else:
+            scope = "t" if _lane(ev) or "proc" in ev else "p"
+            args = {
+                k: v
+                for k, v in ev.items()
+                if k not in ("type", "seq") and isinstance(v, (int, float, str))
+            }
+            out.append({
+                "ph": "i", "s": scope, "pid": _PID_RUN, "tid": _lane(ev),
+                "ts": ts, "name": etype, "cat": "event", "args": args,
+            })
+    # close windows left open at the horizon
+    for (opener, lane), t0 in sorted(open_windows.items()):
+        _, _, label = _WINDOWS[opener]
+        out.append({
+            "ph": "X", "pid": _PID_RUN, "tid": lane, "ts": t0 * _SCALE,
+            "dur": max(last_t - t0, 0.0) * _SCALE,
+            "name": label + " (open)", "cat": "fault",
+        })
+    if profiler is not None and getattr(profiler, "records", None):
+        out.append({
+            "ph": "M", "pid": _PID_PROFILER, "tid": 0, "name": "process_name",
+            "args": {"name": "profiler (aggregate)"},
+        })
+        cursor = 0.0
+        for name, stats in sorted(profiler.records.items()):
+            dur = stats.total_ns / 1_000.0  # ns -> us
+            out.append({
+                "ph": "X", "pid": _PID_PROFILER, "tid": 0, "ts": cursor,
+                "dur": dur, "name": name, "cat": "profiler",
+                "args": {"count": stats.count,
+                         "mean_ns": round(stats.mean_ns, 1)},
+            })
+            cursor += dur
+    return out
+
+
+def write_chrome_trace(
+    path: str | Path | IO[str],
+    events: Sequence[Mapping],
+    *,
+    profiler=None,
+    run_id: str | None = None,
+) -> int:
+    """Write a Chrome trace JSON file; return the trace-event count."""
+    trace_events = chrome_trace_events(
+        events, profiler=profiler, run_id=run_id
+    )
+    doc = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro trace --export chrome",
+            "run_id": run_id
+            if run_id is not None
+            else next(
+                (
+                    str(ev.get("run_id", ""))
+                    for ev in events
+                    if ev.get("type") == "trace_context"
+                ),
+                "",
+            ),
+        },
+    }
+    own = isinstance(path, (str, Path))
+    if own:
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        fh: IO[str] = open(p, "w", encoding="utf-8")
+    else:
+        fh = path  # type: ignore[assignment]
+    try:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    finally:
+        if own:
+            fh.close()
+    return len(trace_events)

@@ -35,6 +35,7 @@ __all__ = [
     "build_report",
     "to_html",
     "load_bench",
+    "load_bench_history",
     "compare_bench",
 ]
 
@@ -368,6 +369,41 @@ def load_bench(path: str | Path) -> dict:
     return doc
 
 
+def load_bench_history(path: str | Path) -> dict:
+    """Load the *last* record of a ``bench_history.ndjson`` trajectory
+    as a :func:`compare_bench`-shaped baseline document.
+
+    ``repro bench`` appends one condensed line per run (schema
+    ``repro.bench_history.v1``, see
+    :func:`repro.experiments.microbench.append_bench_history`); the
+    most recent line is the natural comparison baseline for
+    ``repro report --compare history.ndjson``.  History rows carry no
+    ``events`` counters, so the compare gates on ``total_ops`` and
+    throughput only.
+    """
+    from repro.experiments.microbench import BENCH_HISTORY_SCHEMA
+
+    lines = [
+        line
+        for line in Path(path).read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    if not lines:
+        raise ValueError(f"{path}: empty bench history")
+    record = json.loads(lines[-1])
+    if record.get("schema") != BENCH_HISTORY_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {BENCH_HISTORY_SCHEMA!r}, "
+            f"got {record.get('schema')!r}"
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "git_rev": record.get("git_rev", "unknown"),
+        "backend": record.get("backend", "native"),
+        "runs": record.get("runs", []),
+    }
+
+
 def compare_bench(
     a: Mapping, b: Mapping, *, tolerance: float = 0.75
 ) -> tuple[str, bool]:
@@ -414,11 +450,14 @@ def compare_bench(
             problems.append(
                 f"total_ops {ra['total_ops']} -> {rb['total_ops']}"
             )
-        ev_a, ev_b = ra.get("events", {}), rb.get("events", {})
-        for name in sorted(set(ev_a) | set(ev_b)):
-            va, vb = ev_a.get(name, 0), ev_b.get(name, 0)
-            if va != vb:
-                problems.append(f"events.{name} {va} -> {vb}")
+        # condensed history rows carry no events section at all; only
+        # diff the counters when both sides actually recorded them
+        ev_a, ev_b = ra.get("events"), rb.get("events")
+        if ev_a is not None and ev_b is not None:
+            for name in sorted(set(ev_a) | set(ev_b)):
+                va, vb = ev_a.get(name, 0), ev_b.get(name, 0)
+                if va != vb:
+                    problems.append(f"events.{name} {va} -> {vb}")
         tps_a, tps_b = ra["ticks_per_sec"], rb["ticks_per_sec"]
         ratio = tps_b / tps_a if tps_a else float("inf")
         if ratio < tolerance:

@@ -256,6 +256,19 @@ EVENT_SCHEMAS: dict[str, EventSchema] = {
             "A balancing-operation span closed with its outcome.",
             span=int, t=float, status=str, migrated=int,
         ),
+        # -- cross-process trace propagation (repro.observability.telemetry)
+        _schema(
+            "trace_context",
+            "repro.observability.telemetry",
+            "Provenance marker for one merged per-worker event buffer.",
+            time=float, run_id=str, worker=int, parent_span=int, dropped=int,
+        ),
+        _schema(
+            "trace_truncated",
+            "repro.observability.telemetry",
+            "A merged or reconstructed buffer had evicted events (ring overflow).",
+            time=float, worker=int, dropped=int,
+        ),
         # -- dynamic network churn (repro.dynnet.network) ----------------
         _schema(
             "topology_change",

@@ -109,14 +109,22 @@ class Span:
         return [p["phase"] for p in self.points]
 
 
-def spans_from_trace(events: Sequence[Mapping]) -> list[Span]:
+def spans_from_trace(
+    events: Sequence[Mapping], *, tracer: Tracer | None = None
+) -> list[Span]:
     """Reconstruct spans (ordered by span id) from a recorded trace.
 
-    Tolerates truncated traces: points/ends whose start was evicted
+    Tolerates truncated traces — points/ends whose start was evicted
     from a ring buffer are dropped, spans without an end stay open
-    (``status is None``).
+    (``status is None``) — but not *silently*: when orphans are found
+    (or the stream carries a ``trace_context`` marker reporting ring
+    evictions) a ``trace_truncated`` warning event is emitted into
+    ``tracer``, the same loud-by-default shape as a ``monitor_breach``.
     """
     spans: dict[int, Span] = {}
+    orphans = 0
+    first_orphan_t = 0.0
+    context_drops = 0
     for ev in events:
         etype = ev.get("type")
         if etype == "span_start":
@@ -129,12 +137,33 @@ def spans_from_trace(events: Sequence[Mapping]) -> list[Span]:
                 s.points.append(
                     {"t": ev["t"], "phase": ev["phase"], "proc": ev["proc"]}
                 )
+            else:
+                if not orphans:
+                    first_orphan_t = float(ev["t"])
+                orphans += 1
         elif etype == "span_end":
             s = spans.get(ev["span"])
             if s is not None:
                 s.end = ev["t"]
                 s.status = ev["status"]
                 s.migrated = ev["migrated"]
+            else:
+                if not orphans:
+                    first_orphan_t = float(ev["t"])
+                orphans += 1
+        elif etype == "trace_context":
+            context_drops += int(ev.get("dropped", 0))
+    if (
+        tracer is not None
+        and getattr(tracer, "enabled", False)
+        and (orphans or context_drops)
+    ):
+        tracer.emit(
+            "trace_truncated",
+            time=first_orphan_t,
+            worker=-1,
+            dropped=int(orphans + context_drops),
+        )
     return [spans[k] for k in sorted(spans)]
 
 

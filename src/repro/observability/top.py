@@ -1,0 +1,195 @@
+"""``repro top`` — a live dashboard over the telemetry endpoint.
+
+A small curses client that scrapes a ``repro serve --telemetry PORT``
+endpoint on an interval and renders the service's vital signs in
+place: rolling Theorem-4 band occupancy, sojourn p50/p99 sparklines,
+admission / shed rates (derived client-side from counter deltas),
+degradation-ladder state and tracer ring-buffer drops.
+
+Keybindings: ``q`` quits, ``p`` pauses/resumes scraping (the last
+frame stays up), any other key forces an immediate refresh.
+
+The rendering is a pure function (:func:`render_frame`) over a
+client-side :class:`TopHistory` of parsed scrapes, so the tests drive
+it without a terminal or an HTTP server; the curses loop and the
+one-shot ``--once`` mode (print a single frame, no curses — also the
+escape hatch for terminals without curses) are thin shells around it.
+"""
+
+from __future__ import annotations
+
+import time
+import urllib.error
+import urllib.request
+from collections import deque
+
+from repro.observability.export.prometheus import parse_exposition
+from repro.observability.report import sparkline
+
+__all__ = ["TopHistory", "render_frame", "fetch_metrics", "run_top"]
+
+
+def fetch_metrics(url: str, *, timeout: float = 2.0) -> dict:
+    """Scrape and parse one exposition; raises ``URLError`` on failure."""
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return parse_exposition(resp.read().decode("utf-8", "replace"))
+
+
+def _value(metrics: dict, name: str, labels: tuple = ()) -> float | None:
+    series = metrics.get(name)
+    if not series:
+        return None
+    return series.get(labels)
+
+
+class TopHistory:
+    """Client-side window of parsed scrapes (the sparkline source)."""
+
+    def __init__(self, *, window: int = 60) -> None:
+        self.window = window
+        self.scrapes: deque[tuple[float, dict]] = deque(maxlen=window)
+
+    def add(self, metrics: dict, *, at: float | None = None) -> None:
+        self.scrapes.append(
+            (time.monotonic() if at is None else float(at), metrics)
+        )
+
+    def series(self, name: str, labels: tuple = ()) -> list[float]:
+        out = []
+        for _, m in self.scrapes:
+            v = _value(m, name, labels)
+            if v is not None:
+                out.append(v)
+        return out
+
+    def rate(self, name: str, labels: tuple = ()) -> float | None:
+        """Per-second rate of a counter over the last two scrapes."""
+        if len(self.scrapes) < 2:
+            return None
+        (t0, m0), (t1, m1) = self.scrapes[-2], self.scrapes[-1]
+        v0, v1 = _value(m0, name, labels), _value(m1, name, labels)
+        if v0 is None or v1 is None or t1 <= t0:
+            return None
+        return max(v1 - v0, 0.0) / (t1 - t0)
+
+
+_STATES = ("healthy", "backpressure", "shedding", "recovering")
+
+
+def _fmt(v: float | None, spec: str = "{:.2f}", missing: str = "-") -> str:
+    return missing if v is None else spec.format(v)
+
+
+def render_frame(history: TopHistory, *, width: int = 72) -> list[str]:
+    """Render the dashboard over the scrape history; returns lines."""
+    if not history.scrapes:
+        return ["repro top — waiting for first scrape..."]
+    _, m = history.scrapes[-1]
+    occ = _value(m, "repro_theorem4_band_occupancy")
+    band = _value(m, "repro_theorem4_band")
+    rho = _value(m, "repro_rho")
+    spark_w = max(width - 34, 8)
+    state = next(
+        (s for s in _STATES
+         if _value(m, "repro_ladder_state", (("state", s),)) == 1.0),
+        None,
+    )
+    shed_rates = []
+    for reason in ("brownout", "bucket", "depth"):
+        r = history.rate("repro_shed_total", (("reason", reason),))
+        if r is not None:
+            shed_rates.append(f"{reason} {r:.1f}/s")
+    lines = [
+        f"repro top — {len(history.scrapes)} scrapes, "
+        f"{_fmt(_value(m, 'repro_telemetry_samples_total'), '{:.0f}')} samples"
+        + (f", state {state.upper()}" if state else ""),
+        "",
+        f"band occupancy {_fmt(occ, '{:.1%}')}  (band {_fmt(band)})   "
+        f"{sparkline(history.series('repro_theorem4_band_occupancy')[-spark_w:])}",
+        f"rho            {_fmt(rho)}             "
+        f"{sparkline(history.series('repro_rho')[-spark_w:])}",
+        f"sojourn p50    {_fmt(_value(m, 'repro_sojourn_seconds', (('quantile', '0.5'),)))}"
+        f"             "
+        f"{sparkline(history.series('repro_sojourn_seconds', (('quantile', '0.5'),))[-spark_w:])}",
+        f"sojourn p99    {_fmt(_value(m, 'repro_sojourn_seconds', (('quantile', '0.99'),)))}"
+        f"             "
+        f"{sparkline(history.series('repro_sojourn_seconds', (('quantile', '0.99'),))[-spark_w:])}",
+        "",
+        f"offered  {_fmt(_value(m, 'repro_offered_total'), '{:.0f}')}"
+        f"  admitted {_fmt(_value(m, 'repro_admitted_total'), '{:.0f}')}"
+        f"  completed {_fmt(_value(m, 'repro_completed_total'), '{:.0f}')}"
+        f"  admit rate {_fmt(history.rate('repro_admitted_total'), '{:.1f}/s')}",
+        "shed     " + (", ".join(shed_rates) if shed_rates else "(no sheds)"),
+        f"hot queues {_fmt(_value(m, 'repro_queue_hot_fraction'), '{:.1%}')}"
+        f"   tracer drops "
+        f"{_fmt(_value(m, 'repro_tracer_dropped_total'), '{:.0f}')}",
+        "",
+        "q quit · p pause · any key refresh",
+    ]
+    return lines
+
+
+def run_top(
+    url: str,
+    *,
+    interval: float = 1.0,
+    frames: int | None = None,
+    once: bool = False,
+    out=None,
+) -> int:
+    """Drive the dashboard; returns an exit code.
+
+    ``once`` prints a single frame to ``out`` (default stdout) without
+    curses; ``frames`` bounds the curses loop (for tests/CI).  The
+    normal mode runs until ``q``.
+    """
+    import sys
+
+    out = out or sys.stdout
+    history = TopHistory()
+    if once:
+        try:
+            history.add(fetch_metrics(url))
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"error: cannot scrape {url}: {exc}", file=sys.stderr)
+            return 1
+        print("\n".join(render_frame(history)), file=out)
+        return 0
+    try:
+        import curses
+    except ImportError:  # pragma: no cover - non-curses platform
+        print(
+            "error: curses is unavailable; use --once for a single frame",
+            file=sys.stderr,
+        )
+        return 1
+
+    def _loop(stdscr) -> int:
+        curses.curs_set(0)
+        stdscr.nodelay(False)
+        stdscr.timeout(int(interval * 1000))
+        paused = False
+        shown = 0
+        while frames is None or shown < frames:
+            if not paused:
+                try:
+                    history.add(fetch_metrics(url))
+                except (urllib.error.URLError, OSError):
+                    pass  # endpoint gone mid-run: keep the last frame
+            stdscr.erase()
+            maxy, maxx = stdscr.getmaxyx()
+            lines = render_frame(history, width=maxx - 1)
+            if paused:
+                lines[0] += "  [paused]"
+            for y, line in enumerate(lines[: maxy - 1]):
+                stdscr.addnstr(y, 0, line, maxx - 1)
+            stdscr.refresh()
+            shown += 1
+            ch = stdscr.getch()
+            if ch in (ord("q"), ord("Q")):
+                break
+            if ch in (ord("p"), ord("P")):
+                paused = not paused
+        return 0
+
+    return curses.wrapper(_loop)

@@ -149,6 +149,7 @@ class ServiceEngine(AsyncEngine):
         admission: AdmissionController,
         ladder_cfg: LadderConfig | None = None,
         slo: SLOTracker | None = None,
+        telemetry=None,
         **kwargs,
     ) -> None:
         super().__init__(params, rates, **kwargs)
@@ -170,6 +171,12 @@ class ServiceEngine(AsyncEngine):
         # service_shed batching: emitted counts so far, by reason
         self._shed_emitted = dict.fromkeys(admission.shed, 0)
         self._depth_sheds_seen = 0
+        # live telemetry: read-only sampling at snapshot boundaries;
+        # None costs one branch per snapshot and changes nothing else
+        # (the telemetry-on/off golden test pins bit-identity)
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.bind_service(self)
 
     # -- arrivals ---------------------------------------------------------
 
@@ -243,6 +250,8 @@ class ServiceEngine(AsyncEngine):
                     depth=int(fresh["depth"]),
                 )
                 self._shed_emitted = dict(self.admission.shed)
+        if self.telemetry is not None:
+            self.telemetry.sample(t, loads)
 
 
 @dataclass(frozen=True, slots=True)
@@ -268,6 +277,7 @@ def service_run(
     tracer=None,
     profiler=None,
     spans=None,
+    telemetry=None,
 ) -> ServiceRun:
     """Run one service episode end to end; return the document + parts.
 
@@ -276,7 +286,10 @@ def service_run(
     custom one.  ``replay`` substitutes a recorded arrival trace for
     the generated traffic (``repro serve --replay``); the returned
     :attr:`ServiceRun.trace` always holds the *offered* stream so any
-    run can be re-recorded (``--record``).
+    run can be re-recorded (``--record``).  ``telemetry`` attaches a
+    :class:`~repro.observability.telemetry.TelemetrySampler`, sampled
+    read-only at every snapshot boundary (``repro serve --telemetry``);
+    like the other observers it cannot change the run's results.
     """
     if replay is not None:
         if replay.n != cfg.n:
@@ -327,6 +340,7 @@ def service_run(
         tracer=tracer,
         profiler=profiler,
         spans=spans,
+        telemetry=telemetry,
         faults=plan,
     )
     engine.schedule_arrivals(arrivals)

@@ -34,6 +34,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Callable, ClassVar, Iterable, Iterator, TypeVar
 
+from repro.observability.telemetry import TraceContext, set_current_context
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -44,6 +46,33 @@ __all__ = [
     "Capabilities",
     "BatchClient",
 ]
+
+
+class _ContextualTask:
+    """Picklable wrapper installing the propagated trace context.
+
+    The backends enumerate the batch and wrap the task function so each
+    worker sees :func:`repro.observability.telemetry.current_context`
+    with its own task index stamped as ``worker`` *before* the task
+    function runs — the index is the submission position, so the
+    stamped context is deterministic regardless of which OS process
+    executes the task.  The wrapper composes with chunked ``pool.map``
+    dispatch because it travels with the function, not the pool.
+    """
+
+    __slots__ = ("fn", "ctx")
+
+    def __init__(self, fn: Callable, ctx: TraceContext) -> None:
+        self.fn = fn
+        self.ctx = ctx
+
+    def __call__(self, pair):
+        index, item = pair
+        set_current_context(self.ctx.child(worker=index))
+        try:
+            return self.fn(item)
+        finally:
+            set_current_context(None)
 
 
 class BackendUnavailable(RuntimeError):
@@ -110,6 +139,26 @@ class BatchClient(ABC):
         self._next_batch = 0
         self._handles: dict[int, BatchHandle] = {}
         self._closed = False
+        #: optional TraceContext propagated to every task of every
+        #: subsequent batch (see docs/OBSERVABILITY.md, "Telemetry")
+        self.trace_context: TraceContext | None = None
+
+    # -- trace-context propagation ---------------------------------------
+    def _contextualise(
+        self, fn: Callable[[T], R], items: Iterable[T]
+    ) -> tuple[Callable, Iterable]:
+        """Wrap ``(fn, items)`` so tasks run under :attr:`trace_context`.
+
+        A no-op when no context is set — the common case pays one
+        ``None`` check.  Otherwise items become ``(index, item)`` pairs
+        (lazily, preserving streaming) and ``fn`` a picklable wrapper
+        installing ``trace_context.child(worker=index)`` in whatever
+        process runs the task.
+        """
+        ctx = self.trace_context
+        if ctx is None:
+            return fn, items
+        return _ContextualTask(fn, ctx), enumerate(items)
 
     # -- core primitive --------------------------------------------------
     @abstractmethod

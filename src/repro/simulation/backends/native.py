@@ -44,5 +44,6 @@ class NativeClient(BatchClient):
         chunksize: int | None = None,
     ) -> Iterator[R]:
         self._check_open()
+        fn, items = self._contextualise(fn, items)
         for item in items:
             yield fn(item)

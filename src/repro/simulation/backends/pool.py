@@ -87,6 +87,12 @@ class MultiprocessingClient(BatchClient):
         chunksize: int | None = None,
     ) -> Iterator[R]:
         self._check_open()
+        # contextualise before any dispatch decision so the propagated
+        # trace context reaches tasks identically on the pool, on the
+        # trivial-batch inline path, and after a native fallback (the
+        # fallback client carries no context of its own — items are
+        # already wrapped by the time it sees them)
+        fn, items = self._contextualise(fn, items)
         if self.fell_back:
             yield from self._fallback.map_ordered(fn, items)
             return

@@ -1,0 +1,313 @@
+"""Tests for the telemetry exporters and the ``repro top`` client.
+
+Prometheus text exposition (render + parse round-trip, HTTP server),
+the Chrome trace-event exporter (shapes, fault windows, truncation
+handling), the golden merged trace of a seeded two-worker
+multiprocessing dispatch, and the dashboard rendering.
+"""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    SpanRecorder,
+    TelemetrySampler,
+    TraceContext,
+    Tracer,
+    merge_worker_traces,
+    spans_from_trace,
+    validate_trace,
+    worker_payload,
+)
+from repro.observability.export import (
+    TelemetryServer,
+    chrome_trace_events,
+    parse_exposition,
+    render_exposition,
+    write_chrome_trace,
+)
+from repro.observability.top import (
+    TopHistory,
+    fetch_metrics,
+    render_frame,
+    run_top,
+)
+from repro.params import LBParams
+from repro.service import ServiceConfig, service_run
+from repro.simulation.backends import get_client
+
+DATA = Path(__file__).parent / "data"
+PARAMS = LBParams(f=1.5, delta=1, C=2)
+
+
+def _service_sampler(seed=0):
+    sampler = TelemetrySampler(interval=0.0)
+    service_run(ServiceConfig.smoke(seed=seed), chaos=True, telemetry=sampler)
+    return sampler
+
+
+class TestExposition:
+    def test_parse_inverts_render(self):
+        sampler = _service_sampler()
+        parsed = parse_exposition(render_exposition(sampler))
+        snap = sampler.snapshot()
+        latest = snap["latest"]
+        assert parsed["repro_telemetry_samples_total"][()] == snap["samples"]
+        assert parsed["repro_offered_total"][()] == latest["offered"]
+        assert parsed["repro_theorem4_band_occupancy"][()] == pytest.approx(
+            snap["band_occupancy"]
+        )
+        assert parsed["repro_sojourn_seconds"][
+            (("quantile", "0.99"),)
+        ] == pytest.approx(latest["sojourn_p99"])
+        for reason, count in latest["shed"].items():
+            assert parsed["repro_shed_total"][(("reason", reason),)] == count
+
+    def test_counters_end_in_total(self):
+        text = render_exposition(_service_sampler())
+        for line in text.splitlines():
+            if line.startswith("# TYPE") and line.endswith(" counter"):
+                assert line.split()[2].endswith("_total"), line
+
+    def test_ladder_state_is_one_hot(self):
+        parsed = parse_exposition(render_exposition(_service_sampler()))
+        values = list(parsed["repro_ladder_state"].values())
+        assert sorted(values) == [0.0, 0.0, 0.0, 1.0]
+
+    def test_tracer_drops_always_exposed(self):
+        # even a bare sampler exports the drop counter (at zero)...
+        sampler = TelemetrySampler(interval=0.0)
+        sampler.sample(0.0)
+        parsed = parse_exposition(render_exposition(sampler))
+        assert parsed["repro_tracer_dropped_total"][()] == 0.0
+        # ...and a sampler watching an evicting ring reports the drops
+        tracer = Tracer(capacity=2)
+        spans = SpanRecorder(tracer)
+        for i in range(5):
+            sid = spans.start(t=float(i), op=f"op{i}", proc=0)
+            spans.end(sid, t=float(i), status="completed")
+        sampler = TelemetrySampler(interval=0.0, tracer=tracer)
+        sampler.sample(0.0)
+        parsed = parse_exposition(render_exposition(sampler))
+        assert parsed["repro_tracer_dropped_total"][()] == tracer.dropped > 0
+
+    def test_registry_metrics_exported(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.ticks").inc(7)
+        registry.gauge("load.mean").set(2.5)
+        for v in (1, 2, 10):
+            registry.histogram("load.spread").observe(v)
+        sampler = TelemetrySampler(interval=0.0, metrics=registry)
+        sampler.sample(0.0)
+        parsed = parse_exposition(render_exposition(sampler))
+        assert parsed["repro_sim_ticks_total"][()] == 7.0
+        assert parsed["repro_load_mean"][()] == 2.5
+        buckets = parsed["repro_load_spread_bucket"]
+        assert buckets[(("le", "+Inf"),)] == 3.0
+        # cumulative: every bucket <= the +Inf bucket
+        assert all(v <= 3.0 for v in buckets.values())
+        assert parsed["repro_load_spread_count"][()] == 3.0
+        assert parsed["repro_load_spread_sum"][()] == 13.0
+
+
+class TestTelemetryServer:
+    def test_scrape_over_http(self):
+        sampler = _service_sampler()
+        with TelemetryServer(sampler) as server:
+            assert server.port > 0
+            parsed = fetch_metrics(server.url)
+        assert parsed["repro_telemetry_samples_total"][()] == sampler.samples
+
+    def test_unknown_path_is_404(self):
+        import urllib.error
+        import urllib.request
+
+        with TelemetryServer(TelemetrySampler()) as server:
+            base = server.url.rsplit("/", 1)[0]
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(f"{base}/nope", timeout=2)
+            assert exc.value.code == 404
+
+
+def _traced_events():
+    """A small span stream with a fault window and a loose event."""
+    tracer = Tracer()
+    spans = SpanRecorder(tracer)
+    sid = spans.start(t=0.0, op="balance", proc=1)
+    spans.point(sid, t=0.5, phase="transfer", proc=1)
+    tracer.emit("fault_crash", time=1.0, proc=2)
+    spans.end(sid, t=1.5, status="completed", migrated=3)
+    tracer.emit("fault_recover", time=2.0, proc=2)
+    return tracer.events
+
+
+class TestChromeExport:
+    def test_event_shapes(self):
+        out = chrome_trace_events(_traced_events())
+        assert out[0]["ph"] == "M"  # process-name metadata first
+        phases = [e["ph"] for e in out[1:]]
+        assert phases == ["B", "i", "E", "X"]
+        begin = out[1]
+        assert begin["name"] == "balance" and begin["tid"] == 1
+        window = out[-1]
+        assert window["name"] == "crash" and window["tid"] == 2
+        assert window["ts"] == 1000.0 and window["dur"] == 1000.0
+
+    def test_unclosed_fault_window_closes_at_horizon(self):
+        tracer = Tracer()
+        tracer.emit("fault_crash", time=1.0, proc=0)
+        tracer.emit("fault_crash", time=2.0, proc=0)  # refresh, no recover
+        out = chrome_trace_events(tracer.events)
+        open_windows = [e for e in out if e.get("name") == "crash (open)"]
+        assert len(open_windows) == 1
+
+    def test_write_returns_count_and_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(path, _traced_events(), run_id="r1")
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == count
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["run_id"] == "r1"
+
+    def test_run_id_read_from_trace_context(self):
+        merged = merge_worker_traces([
+            worker_payload(Tracer(), TraceContext("from-ctx"))
+        ])
+        buf = io.StringIO()
+        write_chrome_trace(buf, merged)
+        doc = json.loads(buf.getvalue())
+        assert doc["otherData"]["run_id"] == "from-ctx"
+
+    def test_truncated_merge_still_exports(self):
+        """Ring eviction x export: the warning survives into the trace."""
+        tracer = Tracer(capacity=3)
+        spans = SpanRecorder(tracer)
+        for i in range(5):
+            sid = spans.start(t=float(i), op=f"op{i}", proc=0)
+            spans.end(sid, t=float(i) + 0.5, status="completed")
+        payload = worker_payload(tracer, TraceContext("trunc", worker=0))
+        merged = merge_worker_traces([payload])
+        validate_trace(merged)
+        out = chrome_trace_events(merged)
+        names = [e.get("name") for e in out]
+        assert "trace_truncated" in names
+        # orphaned span_ends (start evicted) render on lane 0, harmless
+        assert all("ph" in e for e in out)
+
+    def test_spans_from_trace_warns_on_truncation(self):
+        tracer = Tracer(capacity=3)
+        spans = SpanRecorder(tracer)
+        for i in range(5):
+            sid = spans.start(t=float(i), op=f"op{i}", proc=0)
+            spans.end(sid, t=float(i) + 0.5, status="completed")
+        warn = Tracer()
+        recovered = spans_from_trace(tracer.events, tracer=warn)
+        warnings = [e for e in warn.events if e["type"] == "trace_truncated"]
+        assert len(warnings) == 1 and warnings[0]["dropped"] > 0
+        assert recovered  # the surviving spans still reconstruct
+
+
+RUN_ID = "golden-2w"
+
+
+def _golden_worker(idx: int) -> dict:
+    """One deterministic worker task: all timestamps are model time."""
+    from repro.observability import (
+        SpanRecorder as _SpanRecorder,
+        Tracer as _Tracer,
+        current_context,
+        worker_payload as _worker_payload,
+    )
+
+    tracer = _Tracer()
+    spans = _SpanRecorder(tracer)
+    ctx = current_context()
+    worker = ctx.worker if ctx is not None else -1
+    sid = spans.start(t=1.0 + idx, op=f"task-{idx}", proc=max(worker, 0))
+    spans.point(sid, t=1.5 + idx, phase="balance", proc=max(worker, 0))
+    spans.end(sid, t=2.0 + idx, status="completed", migrated=idx)
+    return _worker_payload(tracer)
+
+
+def golden_merged_trace() -> list[dict]:
+    """The seeded two-worker multiprocessing dispatch, merged."""
+    parent_tracer = Tracer()
+    parent_spans = SpanRecorder(parent_tracer)
+    root = parent_spans.start(t=0.0, op="grid", proc=0)
+    ctx = TraceContext(RUN_ID, parent_span=root)
+    with get_client("multiprocessing", jobs=2) as client:
+        client.trace_context = ctx
+        payloads = list(client.map_ordered(_golden_worker, [0, 1]))
+    parent_spans.end(root, t=4.0, status="completed")
+    return merge_worker_traces(
+        [worker_payload(parent_tracer, ctx)] + payloads
+    )
+
+
+class TestGoldenMultiprocessingTrace:
+    def test_workers_carry_the_propagated_context(self):
+        merged = golden_merged_trace()
+        contexts = [e for e in merged if e["type"] == "trace_context"]
+        assert [c["run_id"] for c in contexts] == [RUN_ID] * 3
+        assert sorted(c["worker"] for c in contexts) == [-1, 0, 1]
+        assert {c["parent_span"] for c in contexts} == {0}
+
+    def test_matches_the_committed_golden_file(self):
+        """Bit-stable: the merged Chrome export equals the checked-in
+        golden (pool or inline-fallback execution, any worker order)."""
+        buf = io.StringIO()
+        write_chrome_trace(buf, golden_merged_trace())
+        golden = (DATA / "golden_chrome_2worker.json").read_text()
+        assert json.loads(buf.getvalue()) == json.loads(golden)
+
+    def test_chrome_spans_share_one_run_id(self):
+        out = chrome_trace_events(golden_merged_trace())
+        begins = [e for e in out if e["ph"] == "B"]
+        assert {e["args"]["run_id"] for e in begins} == {RUN_ID}
+        assert sorted(e["tid"] for e in begins) == [0, 0, 1]
+
+
+def _frame_history():
+    sampler = _service_sampler()
+    history = TopHistory()
+    parsed = parse_exposition(render_exposition(sampler))
+    history.add(parsed, at=0.0)
+    history.add(parsed, at=1.0)
+    return history
+
+
+class TestTop:
+    def test_history_rate_from_counter_deltas(self):
+        history = TopHistory()
+        history.add({"repro_offered_total": {(): 10.0}}, at=0.0)
+        history.add({"repro_offered_total": {(): 30.0}}, at=2.0)
+        assert history.rate("repro_offered_total") == 10.0
+        assert history.series("repro_offered_total") == [10.0, 30.0]
+        assert history.rate("repro_nope_total") is None
+
+    def test_render_frame_shows_vitals_and_keybindings(self):
+        lines = render_frame(_frame_history())
+        text = "\n".join(lines)
+        assert "band occupancy" in text
+        assert "sojourn p50" in text
+        assert "offered" in text and "admit rate" in text
+        assert "q quit · p pause · any key refresh" in text
+
+    def test_render_frame_before_first_scrape(self):
+        assert "waiting" in render_frame(TopHistory())[0]
+
+    def test_run_top_once_prints_one_frame(self):
+        with TelemetryServer(_service_sampler()) as server:
+            out = io.StringIO()
+            assert run_top(server.url, once=True, out=out) == 0
+        assert "repro top" in out.getvalue()
+
+    def test_run_top_once_unreachable_exits_1(self, capsys):
+        assert run_top(
+            "http://127.0.0.1:9/metrics", once=True, out=io.StringIO()
+        ) == 1
+        assert "cannot scrape" in capsys.readouterr().err

@@ -214,3 +214,75 @@ class TestLoadBench:
     def test_committed_baseline_loads(self):
         doc = load_bench("results/BENCH_engine.json")
         assert doc["runs"], "committed baseline must contain runs"
+
+
+def history_line(**overrides):
+    rec = {
+        "schema": "repro.bench_history.v1",
+        "git_rev": "abc1234",
+        "date": "2026-08-08T00:00:00Z",
+        "backend": "native",
+        "runs": [
+            {"n": 64, "profile": "quiet", "engine": "columnar",
+             "ticks_per_sec": 1000.0, "total_ops": 0,
+             "peak_rss_bytes": 1},
+            {"n": 64, "profile": "stationary", "engine": "columnar",
+             "ticks_per_sec": 500.0, "total_ops": 2215,
+             "peak_rss_bytes": 1},
+        ],
+    }
+    rec.update(overrides)
+    return rec
+
+
+class TestLoadBenchHistory:
+    def test_last_record_wins(self, tmp_path):
+        from repro.observability import load_bench_history
+
+        p = tmp_path / "bench_history.ndjson"
+        p.write_text(
+            json.dumps(history_line(git_rev="old1111")) + "\n"
+            + json.dumps(history_line()) + "\n"
+        )
+        doc = load_bench_history(p)
+        assert doc["schema"] == BENCH_SCHEMA  # compare-shaped
+        assert doc["git_rev"] == "abc1234"
+        assert len(doc["runs"]) == 2
+
+    def test_schema_tag_checked(self, tmp_path):
+        from repro.observability import load_bench_history
+
+        p = tmp_path / "h.ndjson"
+        p.write_text(json.dumps(history_line(schema="nope")) + "\n")
+        with pytest.raises(ValueError, match="expected schema"):
+            load_bench_history(p)
+
+    def test_empty_history_rejected(self, tmp_path):
+        from repro.observability import load_bench_history
+
+        p = tmp_path / "h.ndjson"
+        p.write_text("\n")
+        with pytest.raises(ValueError, match="empty"):
+            load_bench_history(p)
+
+    def test_committed_history_loads_and_matches_baseline(self):
+        from repro.observability import load_bench_history
+
+        hist = load_bench_history("results/bench_history.ndjson")
+        _, ok = compare_bench(hist, load_bench("results/BENCH_engine.json"))
+        assert ok, "committed history must agree with the JSON baseline"
+
+    def test_history_baseline_gates_on_ops_not_events(self, tmp_path):
+        """A condensed history row (no events) vs a full candidate:
+        identical counters pass, a total_ops change still drifts."""
+        from repro.observability import load_bench_history
+
+        p = tmp_path / "h.ndjson"
+        p.write_text(json.dumps(history_line()) + "\n")
+        hist = load_bench_history(p)
+        _, ok = compare_bench(hist, bench_doc(), tolerance=0.5)
+        assert ok
+        cand = copy.deepcopy(bench_doc())
+        cand["runs"][1]["total_ops"] += 1
+        text, ok = compare_bench(hist, cand, tolerance=0.5)
+        assert not ok and "total_ops" in text

@@ -450,3 +450,116 @@ class TestServeCommand:
     def test_list_mentions_serve(self, capsys):
         main(["list"])
         assert "serve" in capsys.readouterr().out
+
+
+class TestTelemetryCli:
+    def test_trace_export_unknown_format_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "trace", "--export", "bogus",
+                "--trace-out", str(tmp_path / "t.json"),
+            ])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown export format 'bogus'" in err
+        assert "chrome" in err  # the known-format listing
+
+    def test_trace_export_requires_trace_out(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "--export", "chrome"])
+        assert exc.value.code == 2
+        assert "--trace-out" in capsys.readouterr().err
+
+    def test_trace_export_chrome_writes_perfetto_json(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main([
+            "trace", "--n", "8", "--steps", "40", "--seed", "1",
+            "--export", "chrome", "--trace-out", str(path),
+        ]) == 0
+        assert "open in Perfetto" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["traceEvents"][0]["ph"] == "M"
+        # a plain traced run has no spans, but its balancing events
+        # render as instants on their processors' lanes
+        assert any(e.get("ph") == "i" for e in doc["traceEvents"])
+
+    def test_bench_appends_history_and_compare_reads_it(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        args = [
+            "bench", "--profile", "quiet", "-n", "64", "--ticks", "10",
+            "--out", str(tmp_path),
+        ]
+        assert main(args) == 0
+        history = tmp_path / "bench_history.ndjson"
+        assert "bench_history.ndjson" in capsys.readouterr().out
+        lines = history.read_text().splitlines()
+        assert len(lines) == 1
+        rec = json.loads(lines[0])
+        assert rec["schema"] == "repro.bench_history.v1"
+        assert {"git_rev", "date", "backend", "runs"} <= rec.keys()
+        assert rec["runs"][0]["n"] == 64
+        # a second run appends (never truncates) ...
+        assert main(args) == 0
+        assert len(history.read_text().splitlines()) == 2
+        capsys.readouterr()
+        # ... and the last record serves as a comparison baseline
+        assert main([
+            "report", "--compare", str(history),
+            str(tmp_path / "BENCH_engine.json"),
+        ]) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_bench_trace_out_writes_merged_timeline(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        trace = tmp_path / "bench_trace.json"
+        assert main([
+            "bench", "--profile", "quiet", "-n", "64", "--ticks", "10",
+            "--jobs", "2", "--backend", "multiprocessing",
+            "--out", str(tmp_path), "--trace-out", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        doc = json.loads(trace.read_text())
+        begins = [e for e in doc["traceEvents"] if e.get("ph") == "B"]
+        run_ids = {e["args"]["run_id"] for e in begins}
+        assert len(run_ids) == 1  # one propagated id across all workers
+        assert begins[0]["name"] == "bench:grid"
+
+    def test_serve_telemetry_serves_and_stops(self, tmp_path, capsys):
+        assert main([
+            "serve", "--smoke", "--telemetry", "0", "--out", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry: serving http://127.0.0.1:" in out
+        assert "samples served" in out and "(now stopped)" in out
+
+    def test_top_once_against_live_endpoint(self, capsys):
+        from repro.observability import TelemetrySampler
+        from repro.observability.export import TelemetryServer
+
+        sampler = TelemetrySampler(interval=0.0)
+        sampler.sample(0.0)
+        with TelemetryServer(sampler) as server:
+            assert main(["top", "--url", server.url, "--once"]) == 0
+        assert "repro top" in capsys.readouterr().out
+
+    def test_top_once_unreachable_exits_1(self, capsys):
+        assert main([
+            "top", "--url", "http://127.0.0.1:9/metrics", "--once",
+        ]) == 1
+        assert "cannot scrape" in capsys.readouterr().err
+
+    def test_list_mentions_telemetry(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "telemetry" in out and "top" in out
